@@ -1,0 +1,161 @@
+package sti
+
+// This file exposes every experiment of the paper's evaluation (§5) as a
+// testing.B benchmark. The cmd/benchmark tool runs the same measurements
+// and prints them in the paper's table/figure layout; EXPERIMENTS.md records
+// paper-vs-measured values.
+//
+//	BenchmarkFig15_*      interpreter & legacy vs compiled (Fig 15)
+//	BenchmarkFig16_*      per-rule case study + hand-crafted fusion (Fig 16 / §5.2)
+//	BenchmarkFig18_*      static instruction generation ablation (Fig 18)
+//	BenchmarkFig19_*      super-instruction ablation (Fig 19)
+//	BenchmarkReorder_*    static tuple reordering ablation (§5.5)
+//	BenchmarkDispatch_*   lean-dispatch ablation (§5.5)
+//	BenchmarkTable1_*     first-run synthesize+compile+execute (Table 1)
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sti/internal/bench"
+	"sti/internal/interp"
+)
+
+// benchEachWorkload runs one measured engine configuration over every
+// workload of the three suites.
+func benchEachWorkload(b *testing.B, run func(b *testing.B, w *bench.Workload)) {
+	for _, w := range bench.Suites(bench.Small) {
+		w := w
+		b.Run(strings.ReplaceAll(w.FullName(), "/", "_"), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run(b, w)
+			}
+		})
+	}
+}
+
+func runInterp(b *testing.B, w *bench.Workload, cfg interp.Config) {
+	b.Helper()
+	if _, _, err := w.TimeInterp(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig15_STI measures the full Soufflé Tree Interpreter.
+func BenchmarkFig15_STI(b *testing.B) {
+	benchEachWorkload(b, func(b *testing.B, w *bench.Workload) {
+		runInterp(b, w, interp.DefaultConfig())
+	})
+}
+
+// BenchmarkFig15_Compiled measures the closure-compiled baseline the
+// slowdown ratios are computed against.
+func BenchmarkFig15_Compiled(b *testing.B) {
+	benchEachWorkload(b, func(b *testing.B, w *bench.Workload) {
+		if _, _, err := w.TimeCompiled(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkFig15_Legacy measures the pre-STI legacy interpreter (§5.1).
+func BenchmarkFig15_Legacy(b *testing.B) {
+	benchEachWorkload(b, func(b *testing.B, w *bench.Workload) {
+		runInterp(b, w, interp.LegacyConfig())
+	})
+}
+
+// BenchmarkFig16_CaseStudy runs the per-rule profile comparison plus the
+// hand-crafted super-instruction remedy on the gamess-like workload.
+func BenchmarkFig16_CaseStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig16(bench.Small, discard{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig18_DynamicAdapter measures the interpreter with static
+// instruction generation disabled (every operation through the dynamic
+// adapter with buffered iterators).
+func BenchmarkFig18_DynamicAdapter(b *testing.B) {
+	benchEachWorkload(b, func(b *testing.B, w *bench.Workload) {
+		runInterp(b, w, interp.DynamicAdapterConfig())
+	})
+}
+
+// BenchmarkFig19_NoSuperInstructions measures the interpreter with
+// super-instructions disabled.
+func BenchmarkFig19_NoSuperInstructions(b *testing.B) {
+	cfg := interp.DefaultConfig()
+	cfg.SuperInstructions = false
+	benchEachWorkload(b, func(b *testing.B, w *bench.Workload) {
+		runInterp(b, w, cfg)
+	})
+}
+
+// BenchmarkReorder_Runtime measures the interpreter with static tuple
+// reordering disabled (decoding iterators at runtime, §5.5).
+func BenchmarkReorder_Runtime(b *testing.B) {
+	cfg := interp.DefaultConfig()
+	cfg.StaticReordering = false
+	benchEachWorkload(b, func(b *testing.B, w *bench.Workload) {
+		runInterp(b, w, cfg)
+	})
+}
+
+// BenchmarkDispatch_Heavyweight measures the interpreter with the lean
+// dispatch path disabled (the §4.3 baseline).
+func BenchmarkDispatch_Heavyweight(b *testing.B) {
+	cfg := interp.DefaultConfig()
+	cfg.LeanDispatch = false
+	benchEachWorkload(b, func(b *testing.B, w *bench.Workload) {
+		runInterp(b, w, cfg)
+	})
+}
+
+// BenchmarkTable1_FirstRun measures the true synthesizer pipeline (emit Go,
+// go build, execute) on one representative workload per suite. The full
+// 20-workload sweep is `cmd/benchmark -table 1`.
+func BenchmarkTable1_FirstRun(b *testing.B) {
+	root := findModuleRoot(b)
+	picks := map[string]bool{"VPC/acct-web": true, "DDisasm/sjeng": true, "DOOP/antlr": true}
+	for _, w := range bench.Table1Suite() {
+		if !picks[w.FullName()] {
+			continue
+		}
+		w := w
+		b.Run(strings.ReplaceAll(w.FullName(), "/", "_"), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.Table1One(w, root, "bench_t1"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func findModuleRoot(b *testing.B) string {
+	b.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			b.Fatal("go.mod not found")
+		}
+		dir = parent
+	}
+}
+
+// discard is an io.Writer black hole for benchmarked report generation.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,0 +1,125 @@
+// Command benchmark regenerates the paper's tables and figures (see
+// DESIGN.md §5 for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured results).
+//
+//	benchmark -fig 15          STI & legacy slowdown vs compiled (Fig 15)
+//	benchmark -fig 16          per-rule slowdown case study (Fig 16)
+//	benchmark -fig 18          static instruction generation ablation
+//	benchmark -fig 19          super-instruction ablation
+//	benchmark -fig reorder     static tuple reordering ablation (§5.5)
+//	benchmark -fig dispatch    lean dispatch ablation (§5.5)
+//	benchmark -table 1         first-run compile+execute ratios (Table 1)
+//	benchmark -all             everything
+//
+// Flags: -scale small|medium|large, -repeat N, -no-legacy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sti/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch")
+	table := flag.String("table", "", "table to reproduce: 1")
+	all := flag.Bool("all", false, "run every experiment")
+	scaleFlag := flag.String("scale", "small", "workload scale: small | medium | large")
+	repeats := flag.Int("repeat", 1, "measurement repetitions (minimum is reported)")
+	noLegacy := flag.Bool("no-legacy", false, "skip the slow legacy-interpreter runs in Fig 15")
+	flag.Parse()
+
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if !*all && *fig == "" && *table == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %v", name, err))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *all || *fig == "15" {
+		run("fig15", func() error {
+			_, err := bench.Fig15(scale, *repeats, !*noLegacy, w)
+			return err
+		})
+	}
+	if *all || *fig == "16" {
+		run("fig16", func() error {
+			_, err := bench.Fig16(scale, w)
+			return err
+		})
+	}
+	if *all || *fig == "18" {
+		run("fig18", func() error {
+			_, err := bench.Fig18(scale, *repeats, w)
+			return err
+		})
+	}
+	if *all || *fig == "19" {
+		run("fig19", func() error {
+			_, err := bench.Fig19(scale, *repeats, w)
+			return err
+		})
+	}
+	if *all || *fig == "reorder" {
+		run("reorder", func() error {
+			_, err := bench.FigReorder(scale, *repeats, w)
+			return err
+		})
+	}
+	if *all || *fig == "dispatch" {
+		run("dispatch", func() error {
+			_, err := bench.FigDispatch(scale, *repeats, w)
+			return err
+		})
+	}
+	if *all || *fig == "portfolio" {
+		run("portfolio", func() error {
+			return bench.FigPortfolio(scale, *repeats, w)
+		})
+	}
+	if *all || *table == "1" {
+		run("table1", func() error {
+			root, err := moduleRoot()
+			if err != nil {
+				return err
+			}
+			_, err = bench.Table1(scale, root, w)
+			return err
+		})
+	}
+}
+
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("benchmark must run inside the sti module (go.mod not found)")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchmark:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,203 @@
+// Command sti runs Datalog programs with the Soufflé Tree Interpreter.
+//
+//	sti run program.dl -F facts/ -D out/       interpret a program
+//	sti run program.dl -backend compiled       use the closure compiler
+//	sti ram program.dl                         print the RAM program
+//	sti emit program.dl -o gen/prog            synthesize standalone Go
+//
+// Input relations read <name>.facts (tab-separated) from -F; output
+// relations write <name>.csv to -D; .printsize writes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sti/internal/ast2ram"
+	"sti/internal/codegen"
+	"sti/internal/compile"
+	"sti/internal/interp"
+	"sti/internal/parser"
+	"sti/internal/ram"
+	"sti/internal/ramopt"
+	"sti/internal/sema"
+	"sti/internal/symtab"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "ram":
+		cmdRAM(os.Args[2:])
+	case "emit":
+		cmdEmit(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+// parseWithFile parses "FILE [flags]" or "[flags] FILE", returning the file.
+func parseWithFile(fs *flag.FlagSet, args []string, usageLine string) string {
+	var file string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		file = args[0]
+		args = args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if file == "" && fs.NArg() == 1 {
+		file = fs.Arg(0)
+	}
+	if file == "" || fs.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, usageLine)
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	return file
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sti {run|ram|emit} program.dl [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sti:", err)
+	os.Exit(1)
+}
+
+// load compiles a source file to RAM.
+func load(path string) (*ram.Program, *symtab.Table) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	astProg, err := parser.Parse(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s:%v", path, err))
+	}
+	semProg, errs := sema.Analyze(astProg)
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "sti: %s:%v\n", path, e)
+		}
+		os.Exit(1)
+	}
+	st := symtab.New()
+	ramProg, err := ast2ram.Translate(semProg, st)
+	if err != nil {
+		fatal(err)
+	}
+	return ramProg, st
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	facts := fs.String("F", ".", "input facts directory")
+	out := fs.String("D", ".", "output directory")
+	backend := fs.String("backend", "interp", "execution backend: interp | compiled | legacy")
+	profile := fs.Bool("profile", false, "print the interpreter profile")
+	noSuper := fs.Bool("no-super", false, "disable super-instructions")
+	noStatic := fs.Bool("no-static", false, "disable specialized instructions (dynamic adapter)")
+	noReorder := fs.Bool("no-reorder", false, "disable static tuple reordering")
+	timing := fs.Bool("time", false, "print wall-clock time")
+	jobs := fs.Int("j", 1, "parallel workers for rule evaluation")
+	optimize := fs.Bool("O", false, "run RAM optimization passes (fold constants, fuse filters, choices)")
+	explain := fs.String("explain", "", "after the run, print the derivation of a tuple, e.g. 'path(1,3)'")
+	file := parseWithFile(fs, args, "usage: sti run program.dl [flags]")
+	prog, st := load(file)
+	if *optimize {
+		ramopt.Optimize(prog, st, ramopt.All())
+	}
+	io := &interp.DirIO{InputDir: *facts, OutputDir: *out, Symbols: st, W: os.Stdout}
+
+	start := time.Now()
+	switch *backend {
+	case "compiled":
+		if err := compile.New(prog, st).Run(io); err != nil {
+			fatal(err)
+		}
+	case "interp", "legacy":
+		cfg := interp.DefaultConfig()
+		if *backend == "legacy" {
+			cfg = interp.LegacyConfig()
+		}
+		cfg.SuperInstructions = cfg.SuperInstructions && !*noSuper
+		cfg.StaticDispatch = cfg.StaticDispatch && !*noStatic
+		cfg.StaticReordering = cfg.StaticReordering && !*noReorder
+		cfg.Profile = *profile
+		cfg.Workers = *jobs
+		cfg.Provenance = *explain != ""
+		eng := interp.New(prog, st, cfg)
+		if err := eng.Run(io); err != nil {
+			fatal(err)
+		}
+		if *profile {
+			fmt.Print(eng.Profile().String())
+		}
+		if *explain != "" {
+			if err := printExplanation(eng, prog, st, *explain); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown backend %q", *backend))
+	}
+	if *timing {
+		fmt.Fprintf(os.Stderr, "total time: %v\n", time.Since(start))
+	}
+}
+
+func cmdRAM(args []string) {
+	fs := flag.NewFlagSet("ram", flag.ExitOnError)
+	file := parseWithFile(fs, args, "usage: sti ram program.dl")
+	prog, _ := load(file)
+	fmt.Print(prog.String())
+}
+
+func cmdEmit(args []string) {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	out := fs.String("o", "", "output directory for main.go (default: print to stdout)")
+	build := fs.Bool("build", false, "also compile the emitted program (requires running inside the sti module)")
+	optimize := fs.Bool("O", false, "run RAM optimization passes before emitting")
+	file := parseWithFile(fs, args, "usage: sti emit program.dl [-o dir] [-build]")
+	prog, st := load(file)
+	if *optimize {
+		ramopt.Optimize(prog, st, ramopt.All())
+	}
+	src, err := codegen.Emit(prog, st)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		os.Stdout.Write(src)
+		return
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(*out, "main.go")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	if *build {
+		root, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		bin, elapsed, err := codegen.Build(root, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "built %s in %v\n", bin, elapsed)
+	}
+}

@@ -1,0 +1,79 @@
+// Disassembly analysis: a DDisasm-style workload (one of the paper's
+// benchmark suites). From raw instruction facts the rules derive plausible
+// code addresses, fall-through/jump successors, and function entries —
+// including an arithmetic-heavy filter of the kind the paper's §5.2 case
+// study identifies as the interpreter's worst case.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sti"
+)
+
+const program = `
+.decl instruction(addr:number, size:number, isJump:number, target:number)
+.decl possibleTarget(addr:number)
+.decl code(addr:number)
+.decl next(from:number, to:number)
+.decl functionEntry(addr:number)
+.input instruction
+.output code
+.output functionEntry
+
+possibleTarget(0).
+possibleTarget(t) :- instruction(_, _, 1, t).
+
+code(a) :- possibleTarget(a), instruction(a, _, _, _).
+code(n) :- code(a), instruction(a, s, j, _), n = a + s, j = 0, instruction(n, _, _, _).
+
+next(a, n) :- code(a), instruction(a, s, 0, _), n = a + s.
+next(a, t) :- code(a), instruction(a, _, 1, t).
+
+// moved_label-style rule: the filter performs several arithmetic
+// operations per candidate pair (cf. paper Fig 17).
+functionEntry(t) :-
+    instruction(_, _, 1, t),
+    code(t),
+    t % 16 = 0,
+    t / 16 * 16 = t.
+`
+
+func main() {
+	prog, err := sti.Parse(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := prog.NewInput()
+	// A tiny straight-line program with two calls to an aligned function.
+	addr := 0
+	emit := func(size, isJump, target int) {
+		in.Add("instruction", addr, size, isJump, target)
+		addr += size
+	}
+	emit(4, 0, 0)  // 0
+	emit(4, 1, 32) // 4: call 32
+	emit(4, 0, 0)  // 8
+	emit(4, 1, 32) // 12: call 32
+	emit(8, 0, 0)  // 16
+	emit(8, 0, 0)  // 24
+	emit(4, 0, 0)  // 32: function body
+	emit(4, 0, 0)  // 36
+
+	res, err := prog.Run(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("code addresses (%d):\n ", res.Size("code"))
+	for _, row := range res.Rows("code") {
+		fmt.Printf(" %v", row[0])
+	}
+	fmt.Println()
+	fmt.Println("function entries:")
+	for _, row := range res.Rows("functionEntry") {
+		fmt.Printf("  0x%x\n", row[0])
+	}
+}

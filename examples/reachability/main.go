@@ -1,0 +1,67 @@
+// Network reachability: a VPC-style analysis (one of the paper's benchmark
+// suites). Instances attach to subnets, subnets connect through route
+// tables, and security groups filter by port; the analysis derives which
+// instance pairs can reach each other on which port.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sti"
+)
+
+const program = `
+.decl instance(id:symbol, subnet:symbol)
+.decl route(from:symbol, to:symbol)
+.decl allowIngress(subnet:symbol, port:number)
+.decl subnetReach(a:symbol, b:symbol)
+.decl canReach(src:symbol, dst:symbol, port:number)
+.input instance
+.input route
+.input allowIngress
+.output canReach
+
+subnetReach(a, a) :- instance(_, a).
+subnetReach(a, b) :- route(a, b).
+subnetReach(a, c) :- subnetReach(a, b), route(b, c).
+
+canReach(i, j, p) :-
+    instance(i, si),
+    instance(j, sj),
+    subnetReach(si, sj),
+    allowIngress(sj, p),
+    i != j.
+`
+
+func main() {
+	prog, err := sti.Parse(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := prog.NewInput()
+	in.Add("instance", "web-1", "public-a")
+	in.Add("instance", "web-2", "public-b")
+	in.Add("instance", "app-1", "private-a")
+	in.Add("instance", "db-1", "data-a")
+	in.Add("route", "public-a", "private-a")
+	in.Add("route", "public-b", "private-a")
+	in.Add("route", "private-a", "data-a")
+	in.Add("allowIngress", "private-a", 8080)
+	in.Add("allowIngress", "data-a", 5432)
+	in.Add("allowIngress", "public-a", 443)
+
+	res, err := prog.Run(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("reachability (src -> dst : port):")
+	for _, row := range res.Rows("canReach") {
+		fmt.Printf("  %s -> %s : %d\n", row[0], row[1], row[2])
+	}
+	if res.Contains("canReach", "web-1", "db-1", 5432) {
+		fmt.Println("finding: web tier can reach the database directly (port 5432)")
+	}
+}

@@ -1,0 +1,3 @@
+module sti
+
+go 1.22

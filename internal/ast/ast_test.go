@@ -1,0 +1,139 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"sti/internal/value"
+)
+
+func TestDeclString(t *testing.T) {
+	d := &RelationDecl{
+		Name: "edge",
+		Attrs: []Attr{
+			{Name: "x", Type: value.Number},
+			{Name: "s", Type: value.Symbol},
+		},
+		Rep: RepBrie,
+	}
+	want := ".decl edge(x:number, s:symbol) brie"
+	if got := d.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if d.Arity() != 2 {
+		t.Fatalf("arity = %d", d.Arity())
+	}
+	types := d.AttrTypes()
+	if len(types) != 2 || types[0] != value.Number || types[1] != value.Symbol {
+		t.Fatalf("types = %v", types)
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	c := &Clause{
+		Head: &Atom{Name: "p", Args: []Expr{&Var{Name: "x"}}},
+		Body: []Literal{
+			&Atom{Name: "q", Args: []Expr{&Var{Name: "x"}, &Wildcard{}}},
+			&Negation{Atom: &Atom{Name: "r", Args: []Expr{&Var{Name: "x"}}}},
+			&Constraint{Op: CmpLT, L: &Var{Name: "x"}, R: &NumLit{Val: 5}},
+		},
+	}
+	want := "p(x) :- q(x, _), !r(x), x < 5."
+	if got := c.String(); got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if c.IsFact() {
+		t.Fatal("rule classified as fact")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{&NumLit{Val: -3}, "-3"},
+		{&UnsignedLit{Val: 7}, "7u"},
+		{&FloatLit{Val: 1.5}, "1.5"},
+		{&FloatLit{Val: 2}, "2.0"},
+		{&StrLit{Val: `a"b`}, `"a\"b"`},
+		{&BinExpr{Op: OpAdd, L: &NumLit{Val: 1}, R: &NumLit{Val: 2}}, "(1 + 2)"},
+		{&BinExpr{Op: OpBAnd, L: &Var{Name: "x"}, R: &NumLit{Val: 3}}, "(x band 3)"},
+		{&UnExpr{Op: OpNeg, E: &Var{Name: "x"}}, "(-x)"},
+		{&UnExpr{Op: OpBNot, E: &Var{Name: "x"}}, "bnot(x)"},
+		{&Call{Name: "cat", Args: []Expr{&Var{Name: "a"}, &StrLit{Val: "!"}}}, `cat(a, "!")`},
+		{&Aggregate{Kind: AggCount, Body: []Literal{&Atom{Name: "r", Args: []Expr{&Wildcard{}}}}}, "count : { r(_) }"},
+		{&Aggregate{Kind: AggSum, Target: &Var{Name: "y"}, Body: []Literal{&Atom{Name: "r", Args: []Expr{&Var{Name: "y"}}}}}, "sum y : { r(y) }"},
+	}
+	for _, tc := range tests {
+		if got := ExprString(tc.e); got != tc.want {
+			t.Errorf("ExprString = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	c := &Clause{
+		Head: &Atom{Name: "p", Args: []Expr{
+			&BinExpr{Op: OpAdd, L: &Var{Name: "a"}, R: &NumLit{Val: 1}},
+		}},
+		Body: []Literal{
+			&Atom{Name: "q", Args: []Expr{&Var{Name: "a"}}},
+			&Constraint{Op: CmpEQ,
+				L: &Var{Name: "n"},
+				R: &Aggregate{Kind: AggSum, Target: &Var{Name: "y"},
+					Body: []Literal{&Atom{Name: "r", Args: []Expr{&Var{Name: "y"}}}}},
+			},
+		},
+	}
+	vars := map[string]int{}
+	c.Walk(func(e Expr) {
+		if v, ok := e.(*Var); ok {
+			vars[v.Name]++
+		}
+	})
+	// a appears twice (head expr + body atom), n once, y twice (target +
+	// aggregate body).
+	if vars["a"] != 2 || vars["n"] != 1 || vars["y"] != 2 {
+		t.Fatalf("vars = %v", vars)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := &Program{
+		Decls: []*RelationDecl{
+			{Name: "r", Attrs: []Attr{{Name: "x", Type: value.Number}}},
+		},
+		Directives: []*Directive{{Kind: DirInput, Rel: "r"}},
+		Clauses: []*Clause{
+			{Head: &Atom{Name: "r", Args: []Expr{&NumLit{Val: 1}}}},
+		},
+	}
+	s := p.String()
+	for _, want := range []string{".decl r(x:number)", ".input r", "r(1)."} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("program string lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOperatorNames(t *testing.T) {
+	if OpAdd.String() != "+" || OpBShr.String() != "bshr" || OpLOr.String() != "lor" {
+		t.Fatal("binary operator names wrong")
+	}
+	if OpNeg.String() != "-" || OpLNot.String() != "lnot" {
+		t.Fatal("unary operator names wrong")
+	}
+	if CmpNE.String() != "!=" || CmpGE.String() != ">=" {
+		t.Fatal("comparison names wrong")
+	}
+	if AggMax.String() != "max" {
+		t.Fatal("aggregate names wrong")
+	}
+	if DirPrintSize.String() != ".printsize" {
+		t.Fatal("directive names wrong")
+	}
+	if RepEqRel.String() != "eqrel" || RepDefault.String() != "" {
+		t.Fatal("rep names wrong")
+	}
+}

@@ -1,0 +1,201 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"sti/internal/value"
+)
+
+// String renders the program in (normalized) source syntax. The output
+// re-parses to an equivalent program; golden tests rely on this.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	for _, d := range p.Directives {
+		fmt.Fprintf(&b, "%s %s\n", d.Kind, d.Rel)
+	}
+	for _, c := range p.Clauses {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (d *RelationDecl) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".decl %s(", d.Name)
+	for i, a := range d.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", a.Name, a.Type)
+	}
+	b.WriteByte(')')
+	if d.Rep != RepDefault {
+		b.WriteByte(' ')
+		b.WriteString(d.Rep.String())
+	}
+	return b.String()
+}
+
+func (c *Clause) String() string {
+	var b strings.Builder
+	b.WriteString(c.Head.String())
+	if len(c.Body) > 0 {
+		b.WriteString(" :- ")
+		for i, l := range c.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(LiteralString(l))
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// LiteralString renders a body literal.
+func LiteralString(l Literal) string {
+	switch l := l.(type) {
+	case *Atom:
+		return l.String()
+	case *Negation:
+		return "!" + l.Atom.String()
+	case *Constraint:
+		return fmt.Sprintf("%s %s %s", ExprString(l.L), l.Op, ExprString(l.R))
+	default:
+		return fmt.Sprintf("<%T>", l)
+	}
+}
+
+func (a *Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Name)
+	b.WriteByte('(')
+	for i, e := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(ExprString(e))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ExprString renders an expression with full parenthesization.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *Var:
+		return e.Name
+	case *Wildcard:
+		return "_"
+	case *NumLit:
+		return fmt.Sprintf("%d", e.Val)
+	case *UnsignedLit:
+		return fmt.Sprintf("%du", e.Val)
+	case *FloatLit:
+		s := fmt.Sprintf("%g", e.Val)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case *StrLit:
+		return fmt.Sprintf("%q", e.Val)
+	case *BinExpr:
+		if e.Op >= OpBAnd {
+			return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+		}
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	case *UnExpr:
+		if e.Op == OpNeg {
+			return fmt.Sprintf("(-%s)", ExprString(e.E))
+		}
+		return fmt.Sprintf("%s(%s)", e.Op, ExprString(e.E))
+	case *Call:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	case *Aggregate:
+		var b strings.Builder
+		b.WriteString(e.Kind.String())
+		if e.Target != nil {
+			b.WriteByte(' ')
+			b.WriteString(ExprString(e.Target))
+		}
+		b.WriteString(" : { ")
+		for i, l := range e.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(LiteralString(l))
+		}
+		b.WriteString(" }")
+		return b.String()
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// Walk applies fn to every expression in the clause (head and body),
+// recursing into sub-expressions, including aggregate bodies.
+func (c *Clause) Walk(fn func(Expr)) {
+	for _, e := range c.Head.Args {
+		WalkExpr(e, fn)
+	}
+	WalkLiterals(c.Body, fn)
+}
+
+// WalkLiterals applies fn to every expression under the given literals.
+func WalkLiterals(lits []Literal, fn func(Expr)) {
+	for _, l := range lits {
+		switch l := l.(type) {
+		case *Atom:
+			for _, e := range l.Args {
+				WalkExpr(e, fn)
+			}
+		case *Negation:
+			for _, e := range l.Atom.Args {
+				WalkExpr(e, fn)
+			}
+		case *Constraint:
+			WalkExpr(l.L, fn)
+			WalkExpr(l.R, fn)
+		}
+	}
+}
+
+// WalkExpr applies fn to e and all of its sub-expressions.
+func WalkExpr(e Expr, fn func(Expr)) {
+	fn(e)
+	switch e := e.(type) {
+	case *BinExpr:
+		WalkExpr(e.L, fn)
+		WalkExpr(e.R, fn)
+	case *UnExpr:
+		WalkExpr(e.E, fn)
+	case *Call:
+		for _, a := range e.Args {
+			WalkExpr(a, fn)
+		}
+	case *Aggregate:
+		if e.Target != nil {
+			WalkExpr(e.Target, fn)
+		}
+		WalkLiterals(e.Body, fn)
+	}
+}
+
+// AttrTypes returns the attribute types of a declaration.
+func (d *RelationDecl) AttrTypes() []value.Type {
+	ts := make([]value.Type, len(d.Attrs))
+	for i, a := range d.Attrs {
+		ts[i] = a.Type
+	}
+	return ts
+}

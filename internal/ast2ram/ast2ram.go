@@ -1,0 +1,355 @@
+// Package ast2ram translates an analyzed Datalog program into a RAM program
+// (paper §2, Fig 1): facts become insertions, rules become nested-loop query
+// trees, and recursive strata become semi-naive fixpoint loops over
+// delta/new relations with the structure of the paper's Fig 3.
+//
+// The translation also runs automatic index selection (internal/indexselect)
+// so that every primitive search in the emitted RAM program is a prefix
+// search on some index of its relation.
+package ast2ram
+
+import (
+	"fmt"
+
+	"sti/internal/ast"
+	"sti/internal/indexselect"
+	"sti/internal/ram"
+	"sti/internal/sema"
+	"sti/internal/symtab"
+)
+
+// Error is a translation error (analysis accepted the program but the
+// backend cannot express it).
+type Error struct {
+	Msg string
+	Pos ast.Pos
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// Translate converts an analyzed program into RAM. String literals are
+// interned into st.
+func Translate(p *sema.Program, st *symtab.Table) (*ram.Program, error) {
+	t := &translator{
+		sem:     p,
+		st:      st,
+		rels:    map[string]*ram.Relation{},
+		deltas:  map[string]*ram.Relation{},
+		news:    map[string]*ram.Relation{},
+		pending: map[*ram.Relation][]patch{},
+	}
+	if err := t.run(); err != nil {
+		return nil, err
+	}
+	return t.out, nil
+}
+
+// patch records a RAM node whose IndexID must be filled in after index
+// selection.
+type patch struct {
+	sig indexselect.Signature
+	set func(indexID int)
+}
+
+type translator struct {
+	sem *sema.Program
+	st  *symtab.Table
+	out *ram.Program
+
+	rels   map[string]*ram.Relation // source relations by name
+	deltas map[string]*ram.Relation // delta_R by source name
+	news   map[string]*ram.Relation // new_R by source name
+
+	pending map[*ram.Relation][]patch
+	ruleID  int
+}
+
+func (t *translator) run() error {
+	t.out = &ram.Program{}
+
+	// Declare source relations.
+	for _, r := range t.sem.RelList {
+		rel := &ram.Relation{
+			ID:        len(t.out.Relations),
+			Name:      r.Name(),
+			Arity:     r.Arity(),
+			Types:     r.Decl.AttrTypes(),
+			Rep:       repOf(r.Decl.Rep),
+			Input:     r.Input,
+			Output:    r.Output,
+			PrintSize: r.PrintSize,
+		}
+		rel.BaseID = rel.ID
+		t.out.Relations = append(t.out.Relations, rel)
+		t.rels[rel.Name] = rel
+	}
+	// Declare delta/new for relations in recursive strata (except eqrel,
+	// which is evaluated naively within its stratum; see below).
+	for _, s := range t.sem.Strata {
+		if !s.Recursive {
+			continue
+		}
+		for _, r := range s.Rels {
+			base := t.rels[r.Name()]
+			if base.Rep == ram.RepEqRel {
+				nw := t.auxRelation("new_"+r.Name(), base)
+				t.news[r.Name()] = nw
+				continue
+			}
+			t.deltas[r.Name()] = t.auxRelation("delta_"+r.Name(), base)
+			t.news[r.Name()] = t.auxRelation("new_"+r.Name(), base)
+		}
+	}
+
+	var main []ram.Statement
+	// Load inputs.
+	for _, rel := range t.out.Relations {
+		if rel.Input {
+			main = append(main, &ram.IO{Kind: ram.IOLoad, Rel: rel})
+		}
+	}
+	// Facts.
+	for _, r := range t.sem.RelList {
+		for _, c := range r.Clauses {
+			if !c.IsFact() {
+				continue
+			}
+			q, err := t.translateFact(c)
+			if err != nil {
+				return err
+			}
+			main = append(main, q)
+		}
+	}
+	// Strata in dependency order.
+	for _, s := range t.sem.Strata {
+		stmt, err := t.translateStratum(s)
+		if err != nil {
+			return err
+		}
+		if stmt != nil {
+			main = append(main, stmt)
+		}
+	}
+	// Outputs.
+	for _, rel := range t.out.Relations {
+		if rel.Output {
+			main = append(main, &ram.IO{Kind: ram.IOStore, Rel: rel})
+		}
+		if rel.PrintSize {
+			main = append(main, &ram.IO{Kind: ram.IOPrintSize, Rel: rel})
+		}
+	}
+	t.out.Main = &ram.Sequence{Stmts: main}
+	t.out.NumRules = t.ruleID
+
+	t.selectIndexes()
+	return nil
+}
+
+// auxRelation declares a delta/new companion. Aux relations of eqrel
+// sources are plain B-trees of explicit pairs.
+func (t *translator) auxRelation(name string, base *ram.Relation) *ram.Relation {
+	rep := base.Rep
+	if rep == ram.RepEqRel {
+		rep = ram.RepBTree
+	}
+	rel := &ram.Relation{
+		ID:     len(t.out.Relations),
+		Name:   name,
+		Arity:  base.Arity,
+		Types:  base.Types,
+		Rep:    rep,
+		Aux:    true,
+		BaseID: base.ID,
+	}
+	t.out.Relations = append(t.out.Relations, rel)
+	return rel
+}
+
+func repOf(r ast.Rep) ram.RepKind {
+	switch r {
+	case ast.RepBrie:
+		return ram.RepBrie
+	case ast.RepEqRel:
+		return ram.RepEqRel
+	default:
+		return ram.RepBTree
+	}
+}
+
+// --- strata ---
+
+func (t *translator) translateStratum(s *sema.Stratum) (ram.Statement, error) {
+	// Gather the rules (non-fact clauses) of this stratum.
+	type rule struct {
+		rel    *sema.Rel
+		clause *ast.Clause
+	}
+	var rules []rule
+	for _, r := range s.Rels {
+		for _, c := range r.Clauses {
+			if !c.IsFact() {
+				rules = append(rules, rule{r, c})
+			}
+		}
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+
+	inStratum := map[string]bool{}
+	for _, r := range s.Rels {
+		inStratum[r.Name()] = true
+	}
+	// recursiveAtoms lists body-atom positions referencing in-stratum,
+	// non-eqrel relations (the delta candidates).
+	recursiveAtoms := func(c *ast.Clause) []int {
+		var idxs []int
+		for i, l := range c.Body {
+			if at, ok := l.(*ast.Atom); ok {
+				if inStratum[at.Name] && t.rels[at.Name].Rep != ram.RepEqRel {
+					idxs = append(idxs, i)
+				}
+			}
+		}
+		return idxs
+	}
+
+	if !s.Recursive {
+		var stmts []ram.Statement
+		for _, ru := range rules {
+			q, err := t.translateRule(ru.clause, version{target: t.rels[ru.rel.Name()]})
+			if err != nil {
+				return nil, err
+			}
+			stmts = append(stmts, q)
+		}
+		return &ram.Sequence{Stmts: stmts}, nil
+	}
+
+	// Recursive stratum: semi-naive evaluation (paper Fig 3).
+	var init []ram.Statement
+	var loopBody []ram.Statement
+
+	for _, ru := range rules {
+		rec := recursiveAtoms(ru.clause)
+		target := t.rels[ru.rel.Name()]
+		anyInStratum := false
+		for _, l := range ru.clause.Body {
+			if at, ok := l.(*ast.Atom); ok && inStratum[at.Name] {
+				anyInStratum = true
+			}
+		}
+		if !anyInStratum {
+			// Non-recursive rule of a recursive stratum: evaluate once.
+			q, err := t.translateRule(ru.clause, version{target: target})
+			if err != nil {
+				return nil, err
+			}
+			init = append(init, q)
+			continue
+		}
+		newRel := t.news[ru.rel.Name()]
+		if len(rec) == 0 {
+			// Only eqrel in-stratum atoms: evaluate naively each iteration.
+			q, err := t.translateRule(ru.clause, version{
+				target: newRel, guard: target, naive: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			loopBody = append(loopBody, q)
+			continue
+		}
+		for _, deltaPos := range rec {
+			q, err := t.translateRule(ru.clause, version{
+				target:   newRel,
+				guard:    target,
+				deltaPos: deltaPos,
+				useDelta: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			loopBody = append(loopBody, q)
+		}
+	}
+
+	var stmts []ram.Statement
+	stmts = append(stmts, init...)
+	// Seed deltas with the full relations.
+	for _, r := range s.Rels {
+		if d := t.deltas[r.Name()]; d != nil {
+			stmts = append(stmts, &ram.Merge{Dst: d, Src: t.rels[r.Name()]})
+		}
+	}
+	// Fixpoint loop: derive new, exit when nothing new, fold in, rotate.
+	var post []ram.Statement
+	var exitCond ram.Condition
+	for _, r := range s.Rels {
+		nw := t.news[r.Name()]
+		if nw == nil {
+			continue
+		}
+		var c ram.Condition = &ram.EmptinessCheck{Rel: nw}
+		if exitCond == nil {
+			exitCond = c
+		} else {
+			exitCond = &ram.And{L: exitCond, R: c}
+		}
+		post = append(post, &ram.Merge{Dst: t.rels[r.Name()], Src: nw})
+		if d := t.deltas[r.Name()]; d != nil {
+			post = append(post, &ram.Swap{A: d, B: nw})
+			post = append(post, &ram.Clear{Rel: nw})
+		} else {
+			post = append(post, &ram.Clear{Rel: nw})
+		}
+	}
+	body := append(loopBody, &ram.Exit{Cond: exitCond})
+	body = append(body, post...)
+	stmts = append(stmts, &ram.Loop{Body: &ram.Sequence{Stmts: body}})
+	// Release the scratch relations.
+	for _, r := range s.Rels {
+		if d := t.deltas[r.Name()]; d != nil {
+			stmts = append(stmts, &ram.Clear{Rel: d})
+		}
+		if nw := t.news[r.Name()]; nw != nil {
+			stmts = append(stmts, &ram.Clear{Rel: nw})
+		}
+	}
+	return &ram.Sequence{Stmts: stmts}, nil
+}
+
+// version describes which variant of a rule to emit.
+type version struct {
+	target   *ram.Relation // relation receiving the head projection
+	guard    *ram.Relation // if set, suppress heads already in this relation
+	deltaPos int           // body index of the atom read from delta_R
+	useDelta bool
+	naive    bool // recursive via eqrel only; all in-stratum atoms read full
+}
+
+// --- facts ---
+
+func (t *translator) translateFact(c *ast.Clause) (ram.Statement, error) {
+	target := t.rels[c.Head.Name]
+	exprs := make([]ram.Expr, len(c.Head.Args))
+	info := t.sem.Clauses[c]
+	tr := &ruleTranslator{t: t, info: info, env: map[string]ram.Expr{}}
+	for i, e := range c.Head.Args {
+		re, err := tr.expr(e)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = re
+	}
+	t.ruleID++
+	return &ram.Query{
+		Root:   &ram.Project{Rel: target, Exprs: exprs},
+		RuleID: t.ruleID - 1,
+		Label:  c.String(),
+	}, nil
+}

@@ -1,0 +1,200 @@
+package ast2ram
+
+import (
+	"strings"
+	"testing"
+
+	"sti/internal/parser"
+	"sti/internal/ram"
+	"sti/internal/sema"
+	"sti/internal/symtab"
+)
+
+func translate(t *testing.T, src string) *ram.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	an, errs := sema.Analyze(p)
+	if len(errs) > 0 {
+		t.Fatalf("sema: %v", errs)
+	}
+	rp, err := Translate(an, symtab.New())
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return rp
+}
+
+const tcSrc = `
+.decl edge(x:number, y:number)
+.decl path(x:number, y:number)
+.input edge
+.output path
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+`
+
+func TestTransitiveClosureShape(t *testing.T) {
+	rp := translate(t, tcSrc)
+	names := map[string]*ram.Relation{}
+	for _, r := range rp.Relations {
+		names[r.Name] = r
+	}
+	for _, want := range []string{"edge", "path", "delta_path", "new_path"} {
+		if names[want] == nil {
+			t.Fatalf("missing relation %s (have %v)", want, relNames(rp))
+		}
+	}
+	if !names["delta_path"].Aux || names["edge"].Aux {
+		t.Fatal("aux flags wrong")
+	}
+	text := rp.String()
+	for _, want := range []string{
+		"LOOP", "EXIT", "MERGE", "SWAP (delta_path, new_path)",
+		"LOAD edge", "STORE path", "INSERT",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("RAM text lacks %q:\n%s", want, text)
+		}
+	}
+	// The recursive rule scans delta_path and index-scans edge on column 0.
+	if !strings.Contains(text, "delta_path") {
+		t.Fatalf("no delta scan:\n%s", text)
+	}
+	if !strings.Contains(text, "ON INDEX") {
+		t.Fatalf("no index scan generated:\n%s", text)
+	}
+}
+
+func TestIndexSelectionOrders(t *testing.T) {
+	rp := translate(t, tcSrc)
+	var edge *ram.Relation
+	for _, r := range rp.Relations {
+		if r.Name == "edge" {
+			edge = r
+		}
+	}
+	// edge is searched with column 0 bound: one index, leading with 0.
+	if len(edge.Orders) != 1 {
+		t.Fatalf("edge orders = %v", edge.Orders)
+	}
+	if edge.Orders[0][0] != 0 {
+		t.Fatalf("edge order %v does not lead with column 0", edge.Orders[0])
+	}
+}
+
+func TestSecondColumnSearchGetsOrder(t *testing.T) {
+	rp := translate(t, `
+.decl e(x:number, y:number)
+.decl r(x:number)
+.decl s(x:number)
+r(x) :- s(y), e(x, y).
+`)
+	var e *ram.Relation
+	for _, r := range rp.Relations {
+		if r.Name == "e" {
+			e = r
+		}
+	}
+	if len(e.Orders) != 1 || e.Orders[0][0] != 1 {
+		t.Fatalf("e orders = %v, want leading column 1", e.Orders)
+	}
+}
+
+func TestNegationBecomesExistenceCheck(t *testing.T) {
+	rp := translate(t, `
+.decl a(x:number)
+.decl b(x:number)
+.decl c(x:number)
+c(x) :- a(x), !b(x).
+`)
+	text := rp.String()
+	if !strings.Contains(text, "NOT ((0=t0.0) IN b)") {
+		t.Fatalf("negation lowering:\n%s", text)
+	}
+}
+
+func TestGuardOnRecursiveInsert(t *testing.T) {
+	rp := translate(t, tcSrc)
+	text := rp.String()
+	// new_path inserts are guarded by absence from path.
+	if !strings.Contains(text, "IN path)") || !strings.Contains(text, "INTO new_path") {
+		t.Fatalf("missing recursive guard:\n%s", text)
+	}
+}
+
+func TestFactsProject(t *testing.T) {
+	rp := translate(t, `
+.decl p(x:number, s:symbol)
+p(1, "a").
+p(2, "b").
+`)
+	text := rp.String()
+	if strings.Count(text, "INSERT") != 2 {
+		t.Fatalf("fact inserts:\n%s", text)
+	}
+}
+
+func TestAggregateLowering(t *testing.T) {
+	rp := translate(t, `
+.decl e(x:number, y:number)
+.decl out(x:number, n:number)
+out(x, n) :- e(x, _), n = count : { e(x, _) }.
+`)
+	text := rp.String()
+	if !strings.Contains(text, "count") {
+		t.Fatalf("no aggregate node:\n%s", text)
+	}
+}
+
+func TestEqrelNonPrefixFallsBackToScan(t *testing.T) {
+	rp := translate(t, `
+.decl eq(x:number, y:number) eqrel
+.decl s(x:number)
+.decl out(x:number)
+out(x) :- s(y), eq(x, y).
+`)
+	text := rp.String()
+	// The eq atom binds only column 1: must be a full scan plus filter.
+	if !strings.Contains(text, "FOR t1 IN eq\n") {
+		t.Fatalf("eqrel search did not fall back to scan:\n%s", text)
+	}
+}
+
+func TestMutualRecursionLoopsOnce(t *testing.T) {
+	rp := translate(t, `
+.decl seed(x:number)
+.decl a(x:number)
+.decl b(x:number)
+seed(1).
+a(x) :- seed(x).
+a(x) :- b(x).
+b(x) :- a(x), x < 10.
+`)
+	text := rp.String()
+	if strings.Count(text, "END LOOP") != 1 {
+		t.Fatalf("expected one fixpoint loop:\n%s", text)
+	}
+	// Exit condition covers both new relations.
+	if !strings.Contains(text, "new_a = EMPTY AND new_b = EMPTY") {
+		t.Fatalf("exit condition:\n%s", text)
+	}
+}
+
+func TestRuleCount(t *testing.T) {
+	rp := translate(t, tcSrc)
+	// 1 non-recursive rule + 1 recursive rule with one delta version = 2.
+	if rp.NumRules != 2 {
+		t.Fatalf("NumRules = %d", rp.NumRules)
+	}
+}
+
+func relNames(rp *ram.Program) []string {
+	var out []string
+	for _, r := range rp.Relations {
+		out = append(out, r.Name)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"math/rand"
+
+	"sti/internal/tuple"
+)
+
+// disasmProgram reconstructs code layout from raw instruction facts, in the
+// style of DDisasm. It deliberately contains the §5.2 pathology: the
+// moved_label rule is a depth-2 loop nest whose innermost filter performs
+// many small arithmetic operations per candidate pair — the pattern whose
+// dispatch count dominates the interpreter's performance gap in the paper's
+// case study (Fig 17).
+const disasmProgram = `
+.decl instruction(addr:number, size:number, kind:number, target:number)
+.decl jumpTarget(t:number)
+.decl code(addr:number)
+.decl next(a:number, b:number)
+.decl blockStart(a:number)
+.decl functionEntry(a:number)
+.decl candidate(a:number)
+.decl moved_label(a:number, b:number)
+.decl alignedPair(a:number, b:number)
+.decl dataByte(a:number)
+.input instruction
+.printsize code
+.printsize moved_label
+.printsize alignedPair
+.printsize functionEntry
+
+jumpTarget(t) :- instruction(_, _, 1, t).
+
+code(0).
+code(t) :- jumpTarget(t), instruction(t, _, _, _).
+code(n) :- code(a), instruction(a, s, 0, _), n = a + s, instruction(n, _, _, _).
+
+next(a, n) :- code(a), instruction(a, s, 0, _), n = a + s.
+next(a, t) :- code(a), instruction(a, _, 1, t).
+
+blockStart(0).
+blockStart(t) :- jumpTarget(t), code(t).
+functionEntry(t) :- blockStart(t), t % 16 = 0.
+
+dataByte(a) :- instruction(a, _, _, _), !code(a).
+
+candidate(a) :- code(a), a % 2 = 0.
+
+// The pathological rule: quadratic loop nest, arithmetic-heavy filter.
+moved_label(a, b) :-
+    candidate(a),
+    candidate(b),
+    b > a,
+    (b - a) % 8 = 0,
+    (b - a) / 8 < 48,
+    (a band 15) = (b band 15),
+    ((a bxor b) band 1) = 0,
+    (a + b) % 3 != 1.
+
+// A second quadratic rule with a cheaper filter, for the Fig 16 histogram's
+// mid-range.
+alignedPair(a, b) :-
+    candidate(a),
+    candidate(b),
+    b = a + 64.
+`
+
+type disasmParams struct {
+	name  string
+	instr int
+}
+
+// DisasmSuite generates synthetic "binaries" of different sizes, named
+// after the flavor of SpecCPU inputs the paper uses. specrand is the
+// deliberately tiny outlier whose runtime is dominated by fixed overheads
+// (the paper's 23x data point).
+func DisasmSuite(scale Scale) []*Workload {
+	mult := map[Scale]float64{Small: 0.4, Medium: 1, Large: 2}[scale]
+	params := []disasmParams{
+		{name: "gcc", instr: 5200},
+		{name: "gamess", instr: 4200},
+		{name: "milc", instr: 3000},
+		{name: "bzip2", instr: 2200},
+		{name: "sjeng", instr: 1500},
+		{name: "specrand", instr: 60},
+	}
+	var out []*Workload
+	for i, p := range params {
+		if p.name != "specrand" {
+			p.instr = int(float64(p.instr) * mult)
+		}
+		out = append(out, genDisasm(p, int64(200+i)))
+	}
+	return out
+}
+
+func genDisasm(p disasmParams, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	facts := map[string][]tuple.Tuple{}
+	// Lay out instructions sequentially with sizes 2/4/8; ~10% are jumps to
+	// a random earlier-or-later instruction start.
+	addrs := make([]int, 0, p.instr)
+	addr := 0
+	sizes := []int{2, 4, 4, 4, 8}
+	type ins struct{ addr, size int }
+	var list []ins
+	for i := 0; i < p.instr; i++ {
+		s := sizes[rng.Intn(len(sizes))]
+		addrs = append(addrs, addr)
+		list = append(list, ins{addr, s})
+		addr += s
+	}
+	for _, in := range list {
+		kind, target := 0, 0
+		if rng.Intn(10) == 0 {
+			kind = 1
+			target = addrs[rng.Intn(len(addrs))]
+		}
+		facts["instruction"] = append(facts["instruction"],
+			tuple.Tuple{num(in.addr), num(in.size), num(kind), num(target)})
+	}
+	return &Workload{Suite: "DDisasm", Name: p.name, Src: disasmProgram, Facts: facts}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"math/rand"
+
+	"sti/internal/tuple"
+)
+
+// doopProgram is a context-insensitive Andersen-style points-to analysis —
+// the mutually recursive varPointsTo/heapPointsTo fixpoint at the core of
+// DOOP's analyses.
+const doopProgram = `
+.decl alloc(v:number, h:number)
+.decl move(t:number, f:number)
+.decl store(base:number, fld:number, from:number)
+.decl load(to:number, base:number, fld:number)
+.decl vpt(v:number, h:number)
+.decl hpt(h:number, fld:number, g:number)
+.decl aliased(a:number, b:number)
+.input alloc
+.input move
+.input store
+.input load
+.printsize vpt
+.printsize hpt
+.printsize aliased
+
+vpt(v, h) :- alloc(v, h).
+vpt(t, h) :- move(t, f), vpt(f, h).
+hpt(b, fld, g) :- store(base, fld, from), vpt(base, b), vpt(from, g).
+vpt(t, g) :- load(t, base, fld), vpt(base, b), hpt(b, fld, g).
+
+aliased(a, b) :- vpt(a, h), vpt(b, h), a < b.
+`
+
+type doopParams struct {
+	name   string
+	vars   int
+	heaps  int
+	moves  int
+	stores int
+	loads  int
+	fields int
+}
+
+// DoopSuite generates synthetic Java-like heaps. The workloads share one
+// generator with nearby sizes and different seeds — mirroring the paper's
+// observation that the DaCapo programs behave alike because the Java
+// standard library dominates.
+func DoopSuite(scale Scale) []*Workload {
+	mult := map[Scale]float64{Small: 0.4, Medium: 1, Large: 1.8}[scale]
+	params := []doopParams{
+		{name: "antlr", vars: 800, heaps: 190, moves: 1300, stores: 260, loads: 310, fields: 12},
+		{name: "bloat", vars: 900, heaps: 220, moves: 1500, stores: 290, loads: 350, fields: 12},
+		{name: "chart", vars: 850, heaps: 200, moves: 1400, stores: 270, loads: 330, fields: 12},
+		{name: "fop", vars: 750, heaps: 175, moves: 1200, stores: 245, loads: 290, fields: 12},
+		{name: "luindex", vars: 820, heaps: 195, moves: 1350, stores: 265, loads: 320, fields: 12},
+	}
+	var out []*Workload
+	for i, p := range params {
+		p.vars = int(float64(p.vars) * mult)
+		p.heaps = int(float64(p.heaps) * mult)
+		p.moves = int(float64(p.moves) * mult)
+		p.stores = int(float64(p.stores) * mult)
+		p.loads = int(float64(p.loads) * mult)
+		out = append(out, genDoop(p, int64(300+i)))
+	}
+	return out
+}
+
+func genDoop(p doopParams, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	facts := map[string][]tuple.Tuple{}
+	// Every heap object is allocated into some variable; a shared
+	// "library" prefix of variables is reused heavily by moves, giving the
+	// common-substrate behavior of real Java programs.
+	for h := 0; h < p.heaps; h++ {
+		facts["alloc"] = append(facts["alloc"], tuple.Tuple{num(rng.Intn(p.vars)), num(h)})
+	}
+	libVars := p.vars / 5
+	pickVar := func() int {
+		if rng.Intn(3) == 0 {
+			return rng.Intn(libVars)
+		}
+		return rng.Intn(p.vars)
+	}
+	for i := 0; i < p.moves; i++ {
+		facts["move"] = append(facts["move"], tuple.Tuple{num(pickVar()), num(pickVar())})
+	}
+	for i := 0; i < p.stores; i++ {
+		facts["store"] = append(facts["store"],
+			tuple.Tuple{num(pickVar()), num(rng.Intn(p.fields)), num(pickVar())})
+	}
+	for i := 0; i < p.loads; i++ {
+		facts["load"] = append(facts["load"],
+			tuple.Tuple{num(pickVar()), num(pickVar()), num(rng.Intn(p.fields))})
+	}
+	return &Workload{Suite: "DOOP", Name: p.name, Src: doopProgram, Facts: facts}
+}

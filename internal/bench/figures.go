@@ -1,0 +1,325 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"sti/internal/codegen"
+	"sti/internal/eio"
+	"sti/internal/interp"
+	"sti/internal/symtab"
+	"sti/internal/value"
+)
+
+// repeat runs fn n times and returns the minimum duration (the paper reports
+// over five runs; minimum is the conventional noise-resistant choice).
+func repeat(n int, fn func() (time.Duration, error)) (time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		d, err := fn()
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// --- Fig 15: interpreter slowdown vs the compiled engine ---
+
+// Fig15Row is one benchmark's slowdown measurement.
+type Fig15Row struct {
+	Workload string
+	Compiled time.Duration
+	Interp   time.Duration
+	Legacy   time.Duration // zero when legacy not measured
+	Slowdown float64
+	LegacyX  float64
+}
+
+// Fig15 measures STI and (optionally) the legacy interpreter against the
+// compiled engine on every workload.
+func Fig15(scale Scale, repeats int, withLegacy bool, w io.Writer) ([]Fig15Row, error) {
+	var rows []Fig15Row
+	fmt.Fprintf(w, "Fig 15 — execution-time slowdown vs the compiled engine (scale=%s)\n", scale)
+	fmt.Fprintf(w, "%-22s %12s %12s %9s", "benchmark", "compiled", "STI", "slowdown")
+	if withLegacy {
+		fmt.Fprintf(w, " %12s %9s", "legacy", "legacyX")
+	}
+	fmt.Fprintln(w)
+	for _, wl := range Suites(scale) {
+		tc, err := repeat(repeats, func() (time.Duration, error) {
+			d, _, err := wl.TimeCompiled()
+			return d, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		ti, err := repeat(repeats, func() (time.Duration, error) {
+			d, _, err := wl.TimeInterp(interp.DefaultConfig())
+			return d, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := Fig15Row{
+			Workload: wl.FullName(),
+			Compiled: tc,
+			Interp:   ti,
+			Slowdown: float64(ti) / float64(tc),
+		}
+		if withLegacy {
+			tl, err := repeat(1, func() (time.Duration, error) {
+				d, _, err := wl.TimeInterp(interp.LegacyConfig())
+				return d, err
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.Legacy = tl
+			row.LegacyX = float64(tl) / float64(tc)
+		}
+		fmt.Fprintf(w, "%-22s %12v %12v %8.2fx", row.Workload, round(row.Compiled), round(row.Interp), row.Slowdown)
+		if withLegacy {
+			fmt.Fprintf(w, " %12v %8.2fx", round(row.Legacy), row.LegacyX)
+		}
+		fmt.Fprintln(w)
+		rows = append(rows, row)
+	}
+	summarizeSlowdowns(w, rows)
+	return rows, nil
+}
+
+func summarizeSlowdowns(w io.Writer, rows []Fig15Row) {
+	bySuite := map[string][]float64{}
+	for _, r := range rows {
+		suite := r.Workload[:len(r.Workload)-len(filepath.Base(r.Workload))-1]
+		bySuite[suite] = append(bySuite[suite], r.Slowdown)
+	}
+	var suites []string
+	for s := range bySuite {
+		suites = append(suites, s)
+	}
+	sort.Strings(suites)
+	for _, s := range suites {
+		lo, hi := minMax(bySuite[s])
+		fmt.Fprintf(w, "  %s: slowdown %.2fx - %.2fx\n", s, lo, hi)
+	}
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
+
+// --- Table 1: first-run ratio (synthesize+compile+run) / interpreter ---
+
+// Table1Row is one benchmark's first-run comparison.
+type Table1Row struct {
+	Workload  string
+	SynthGen  time.Duration // codegen (emit Go source)
+	SynthBld  time.Duration // go build
+	SynthRun  time.Duration // binary execution
+	InterpRun time.Duration
+	Ratio     float64 // (gen+build+run) / interp
+}
+
+// Table1 runs the true synthesizer pipeline (emit → go build → execute) for
+// every workload and compares against the interpreter's first run. Both
+// sides read facts from files for a fair I/O path. moduleRoot must be this
+// repository's root. The workloads come from the dedicated Table1Suite
+// (sized for the compile-time-amortization profile), so scale is ignored.
+func Table1(scale Scale, moduleRoot string, w io.Writer) ([]Table1Row, error) {
+	_ = scale
+	var rows []Table1Row
+	fmt.Fprintln(w, "Table 1 — first-run ratio (synthesizer compile+execute / interpreter)")
+	fmt.Fprintf(w, "%-22s %10s %10s %10s %12s %8s\n", "benchmark", "codegen", "go build", "synth run", "STI run", "ratio")
+	for i, wl := range Table1Suite() {
+		row, err := table1Row(wl, moduleRoot, fmt.Sprintf("t1_%d", i))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "%-22s %10v %10v %10v %12v %7.2fx\n",
+			row.Workload, round(row.SynthGen), round(row.SynthBld), round(row.SynthRun),
+			round(row.InterpRun), row.Ratio)
+		rows = append(rows, row)
+	}
+	table1Summary(w, rows)
+	return rows, nil
+}
+
+// Table1One runs the Table 1 pipeline for a single workload (used by the
+// root benchmark suite).
+func Table1One(wl *Workload, moduleRoot, genName string) (Table1Row, error) {
+	return table1Row(wl, moduleRoot, genName)
+}
+
+func table1Row(wl *Workload, moduleRoot, genName string) (Table1Row, error) {
+	row := Table1Row{Workload: wl.FullName()}
+	rp, st, err := wl.Compile()
+	if err != nil {
+		return row, err
+	}
+
+	// Shared facts directory.
+	work, err := os.MkdirTemp("", "sti-bench")
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(work)
+	if err := writeFacts(wl, st, work); err != nil {
+		return row, err
+	}
+
+	// Synthesizer: emit, build, run.
+	start := time.Now()
+	dir, err := codegen.WriteProgram(moduleRoot, genName, rp, st)
+	if err != nil {
+		return row, err
+	}
+	defer os.RemoveAll(dir)
+	row.SynthGen = time.Since(start)
+	_, bld, err := codegen.Build(moduleRoot, dir)
+	if err != nil {
+		return row, err
+	}
+	row.SynthBld = bld
+	runT, err := codegen.RunBinary(filepath.Join(dir, "prog"), work, work)
+	if err != nil {
+		return row, err
+	}
+	row.SynthRun = runT
+
+	// Interpreter: tree generation + run over the same files.
+	rp2, st2, err := wl.Compile()
+	if err != nil {
+		return row, err
+	}
+	io := &eio.Dir{InputDir: work, OutputDir: work, Symbols: st2, W: io.Discard}
+	start = time.Now()
+	eng := interp.New(rp2, st2, interp.DefaultConfig())
+	if err := eng.Run(io); err != nil {
+		return row, err
+	}
+	row.InterpRun = time.Since(start)
+	row.Ratio = float64(row.SynthGen+row.SynthBld+row.SynthRun) / float64(row.InterpRun)
+	return row, nil
+}
+
+// writeFacts renders a workload's in-memory facts as .facts files.
+func writeFacts(wl *Workload, st *symtab.Table, dir string) error {
+	prog, _, err := wl.Compile()
+	if err != nil {
+		return err
+	}
+	for _, rd := range prog.Relations {
+		if !rd.Input {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, rd.Name+".facts"))
+		if err != nil {
+			return err
+		}
+		for _, t := range wl.Facts[rd.Name] {
+			for i, v := range t {
+				if i > 0 {
+					fmt.Fprint(f, "\t")
+				}
+				switch rd.Types[i] {
+				case value.Symbol:
+					fmt.Fprint(f, st.Resolve(v))
+				case value.Number:
+					fmt.Fprint(f, value.AsInt(v))
+				case value.Float:
+					fmt.Fprint(f, value.AsFloat(v))
+				default:
+					fmt.Fprint(f, v)
+				}
+			}
+			fmt.Fprintln(f)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func table1Summary(w io.Writer, rows []Table1Row) {
+	bySuite := map[string][]float64{}
+	for _, r := range rows {
+		suite := r.Workload[:len(r.Workload)-len(filepath.Base(r.Workload))-1]
+		bySuite[suite] = append(bySuite[suite], r.Ratio)
+	}
+	var suites []string
+	for s := range bySuite {
+		suites = append(suites, s)
+	}
+	sort.Strings(suites)
+	fmt.Fprintf(w, "%-10s %10s %8s %8s %8s\n", "suite", ">=1", "avg", "max", "min")
+	var all []float64
+	for _, s := range suites {
+		xs := bySuite[s]
+		all = append(all, xs...)
+		fmt.Fprintf(w, "%-10s %9.1f%% %8.2f %8.2f %8.2f\n", s, pctGE1(xs), mean(xs), maxOf(xs), minOf(xs))
+	}
+	fmt.Fprintf(w, "overall avg ratio: %.2f\n", mean(all))
+}
+
+func pctGE1(xs []float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x >= 1 {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(len(xs))
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,56 @@
+package bench
+
+// Table1Suite is the dedicated workload set for the first-run experiment
+// (Table 1). The paper's result is about compile-time amortization, so the
+// sizes are chosen to reproduce its load profile relative to the
+// synthesizer's fixed compile cost (~0.4 s of `go build` here, ~2 min of
+// C++ there):
+//
+//   - VPC: long-running analyses — compile time amortizes away, most
+//     ratios < 1 (paper: avg 0.79, only 20% >= 1);
+//   - DDisasm: mostly small binaries with one large outlier — high ratios
+//     with a < 1 tail (paper: avg 15.2, 90% >= 1, min 0.44);
+//   - DOOP: uniform mid-size runs — ratios clustered a little above 2
+//     (paper: avg 2.12, all >= 1).
+func Table1Suite() []*Workload {
+	var out []*Workload
+
+	vpc := []vpcParams{
+		{name: "acct-web", subnets: 170, routes: 620, instances: 420, ports: 3},
+		{name: "acct-batch", subnets: 330, routes: 1120, instances: 640, ports: 2, hubby: true},
+		{name: "acct-ml", subnets: 400, routes: 1380, instances: 740, ports: 3},
+		{name: "acct-corp", subnets: 480, routes: 1650, instances: 860, ports: 2, hubby: true},
+		{name: "acct-xl", subnets: 560, routes: 1960, instances: 980, ports: 3},
+	}
+	for i, p := range vpc {
+		out = append(out, genVPC(p, int64(100+i)))
+	}
+
+	disasm := []disasmParams{
+		{name: "gcc", instr: 10000}, // the large outlier: ratio < 1
+		{name: "gamess", instr: 2600},
+		{name: "milc", instr: 1900},
+		{name: "bzip2", instr: 1400},
+		{name: "sjeng", instr: 1000},
+		{name: "h264ref", instr: 1700},
+		{name: "lbm", instr: 1200},
+		{name: "astar", instr: 900},
+		{name: "omnetpp", instr: 2100},
+		{name: "sphinx3", instr: 700}, // the small extreme: highest ratio
+	}
+	for i, p := range disasm {
+		out = append(out, genDisasm(p, int64(200+i)))
+	}
+
+	doop := []doopParams{
+		{name: "antlr", vars: 235, heaps: 57, moves: 375, stores: 75, loads: 90, fields: 12},
+		{name: "bloat", vars: 255, heaps: 62, moves: 410, stores: 82, loads: 99, fields: 12},
+		{name: "chart", vars: 245, heaps: 59, moves: 395, stores: 78, loads: 94, fields: 12},
+		{name: "fop", vars: 225, heaps: 54, moves: 360, stores: 71, loads: 85, fields: 12},
+		{name: "luindex", vars: 240, heaps: 58, moves: 385, stores: 77, loads: 91, fields: 12},
+	}
+	for i, p := range doop {
+		out = append(out, genDoop(p, int64(300+i)))
+	}
+	return out
+}

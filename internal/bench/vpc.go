@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"math/rand"
+
+	"sti/internal/tuple"
+)
+
+// vpcProgram is the network-reachability analysis: transitive reachability
+// over the subnet routing graph joined against instances and ACL rules —
+// the rule shape of the paper's VPC suite (long-running recursive strata
+// dominated by joins).
+const vpcProgram = `
+.decl route(a:number, b:number)
+.decl instance(id:number, subnet:number)
+.decl acl(subnet:number, port:number)
+.decl subnetReach(a:number, b:number)
+.decl canReach(i:number, j:number, p:number)
+.decl exposed(i:number, p:number)
+.input route
+.input instance
+.input acl
+.printsize subnetReach
+.printsize canReach
+.printsize exposed
+
+subnetReach(a, b) :- route(a, b).
+subnetReach(a, c) :- subnetReach(a, b), route(b, c).
+
+canReach(i, j, p) :-
+    instance(i, si),
+    instance(j, sj),
+    subnetReach(si, sj),
+    acl(sj, p),
+    i != j.
+
+exposed(j, p) :- canReach(_, j, p), p < 1024.
+`
+
+type vpcParams struct {
+	name      string
+	subnets   int
+	routes    int
+	instances int
+	ports     int
+	hubby     bool
+}
+
+// VPCSuite generates the VPC-like workloads: several synthetic "accounts"
+// with different routing-graph shapes and sizes.
+func VPCSuite(scale Scale) []*Workload {
+	mult := map[Scale]float64{Small: 0.35, Medium: 1, Large: 2}[scale]
+	params := []vpcParams{
+		{name: "acct-web", subnets: 90, routes: 330, instances: 260, ports: 3},
+		{name: "acct-batch", subnets: 130, routes: 420, instances: 300, ports: 2, hubby: true},
+		{name: "acct-ml", subnets: 170, routes: 560, instances: 340, ports: 3},
+		{name: "acct-corp", subnets: 220, routes: 740, instances: 420, ports: 2, hubby: true},
+		{name: "acct-xl", subnets: 300, routes: 1050, instances: 520, ports: 3},
+	}
+	var out []*Workload
+	for i, p := range params {
+		p.subnets = int(float64(p.subnets) * mult)
+		p.routes = int(float64(p.routes) * mult)
+		p.instances = int(float64(p.instances) * mult)
+		out = append(out, genVPC(p, int64(100+i)))
+	}
+	return out
+}
+
+func genVPC(p vpcParams, seed int64) *Workload {
+	rng := rand.New(rand.NewSource(seed))
+	facts := map[string][]tuple.Tuple{}
+	for _, e := range randGraph(rng, p.subnets, p.routes, p.hubby) {
+		facts["route"] = append(facts["route"], tuple.Tuple{num(e[0]), num(e[1])})
+	}
+	for i := 0; i < p.instances; i++ {
+		facts["instance"] = append(facts["instance"], tuple.Tuple{num(i), num(rng.Intn(p.subnets))})
+	}
+	wellKnown := []int{22, 80, 443, 5432, 8080, 9092}
+	for s := 0; s < p.subnets; s++ {
+		seen := map[int]bool{}
+		for k := 0; k < p.ports; k++ {
+			port := wellKnown[rng.Intn(len(wellKnown))]
+			if !seen[port] {
+				seen[port] = true
+				facts["acl"] = append(facts["acl"], tuple.Tuple{num(s), num(port)})
+			}
+		}
+	}
+	return &Workload{Suite: "VPC", Name: p.name, Src: vpcProgram, Facts: facts}
+}

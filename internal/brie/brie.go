@@ -1,0 +1,372 @@
+// Package brie implements a trie-based relation store, modelled on Soufflé's
+// Brie (Jordan et al., PMAM 2019; paper §2). Tuples are stored level by
+// level: the i-th trie level discriminates the i-th tuple element. The trie
+// is naturally ordered lexicographically, so prefix searches — the only
+// primitive search shape left after the paper's first de-specialization step
+// — descend the fixed prefix and enumerate the remaining subtree.
+//
+// Like Soufflé's Brie, the deepest level specializes for dense data: the
+// final tuple elements are stored in sorted 64-bit bitmap blocks, so runs of
+// nearby values cost one bit each instead of a slice slot.
+package brie
+
+import (
+	"math/bits"
+
+	"sti/internal/value"
+)
+
+// --- inner levels: sorted values with child pointers ---
+
+type tnode struct {
+	vals     []value.Value // sorted, distinct
+	children []*tnode      // parallel to vals at inner levels; nil on the penultimate level
+	leaves   []*leafSet    // parallel to vals on the penultimate level
+}
+
+// find returns the first index i with vals[i] >= v, and whether vals[i] == v.
+func (nd *tnode) find(v value.Value) (int, bool) {
+	lo, hi := 0, len(nd.vals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(nd.vals) && nd.vals[lo] == v
+}
+
+// --- leaf level: sorted bitmap blocks ---
+
+// leafSet stores a set of 32-bit values as sorted 64-value bitmap blocks.
+type leafSet struct {
+	blocks []leafBlock
+}
+
+type leafBlock struct {
+	base value.Value // multiple of 64
+	bits uint64
+}
+
+// findBlock returns the first index i with blocks[i].base >= base, and
+// whether blocks[i].base == base.
+func (l *leafSet) findBlock(base value.Value) (int, bool) {
+	lo, hi := 0, len(l.blocks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l.blocks[mid].base < base {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l.blocks) && l.blocks[lo].base == base
+}
+
+func (l *leafSet) insert(v value.Value) bool {
+	base := v &^ 63
+	bit := uint64(1) << (v & 63)
+	i, ok := l.findBlock(base)
+	if !ok {
+		l.blocks = append(l.blocks, leafBlock{})
+		copy(l.blocks[i+1:], l.blocks[i:])
+		l.blocks[i] = leafBlock{base: base, bits: bit}
+		return true
+	}
+	if l.blocks[i].bits&bit != 0 {
+		return false
+	}
+	l.blocks[i].bits |= bit
+	return true
+}
+
+func (l *leafSet) contains(v value.Value) bool {
+	i, ok := l.findBlock(v &^ 63)
+	return ok && l.blocks[i].bits&(uint64(1)<<(v&63)) != 0
+}
+
+func (l *leafSet) any() bool { return len(l.blocks) > 0 }
+
+// forEach visits values in ascending order until fn returns false.
+func (l *leafSet) forEach(fn func(value.Value) bool) bool {
+	for _, b := range l.blocks {
+		bitset := b.bits
+		for bitset != 0 {
+			v := b.base + value.Value(bits.TrailingZeros64(bitset))
+			if !fn(v) {
+				return false
+			}
+			bitset &= bitset - 1
+		}
+	}
+	return true
+}
+
+// --- trie ---
+
+// Trie is an ordered set of fixed-arity tuples.
+type Trie struct {
+	arity int
+	root  tnode    // used when arity >= 2
+	leaf  *leafSet // used when arity == 1
+	size  int
+}
+
+// New returns an empty trie for tuples of the given arity (>= 1).
+func New(arity int) *Trie {
+	if arity < 1 {
+		panic("brie: arity must be >= 1")
+	}
+	t := &Trie{arity: arity}
+	if arity == 1 {
+		t.leaf = &leafSet{}
+	}
+	return t
+}
+
+// Arity reports the tuple width.
+func (t *Trie) Arity() int { return t.arity }
+
+// Size reports the number of stored tuples.
+func (t *Trie) Size() int { return t.size }
+
+// Empty reports whether the trie holds no tuples.
+func (t *Trie) Empty() bool { return t.size == 0 }
+
+// Clear removes all tuples.
+func (t *Trie) Clear() {
+	t.root = tnode{}
+	if t.arity == 1 {
+		t.leaf = &leafSet{}
+	}
+	t.size = 0
+}
+
+// Swap exchanges the contents of two tries of equal arity in O(1).
+func (t *Trie) Swap(o *Trie) {
+	t.root, o.root = o.root, t.root
+	t.leaf, o.leaf = o.leaf, t.leaf
+	t.size, o.size = o.size, t.size
+}
+
+// descend walks the inner levels for tup[0:arity-1], optionally creating
+// nodes, and returns the leaf set for the final element (nil if absent and
+// not created).
+func (t *Trie) descend(tup []value.Value, create bool) *leafSet {
+	if t.arity == 1 {
+		return t.leaf
+	}
+	nd := &t.root
+	last := t.arity - 1
+	for level := 0; level < last; level++ {
+		v := tup[level]
+		i, ok := nd.find(v)
+		if !ok {
+			if !create {
+				return nil
+			}
+			nd.vals = append(nd.vals, 0)
+			copy(nd.vals[i+1:], nd.vals[i:])
+			nd.vals[i] = v
+			if level == last-1 {
+				nd.leaves = append(nd.leaves, nil)
+				copy(nd.leaves[i+1:], nd.leaves[i:])
+				nd.leaves[i] = &leafSet{}
+			} else {
+				nd.children = append(nd.children, nil)
+				copy(nd.children[i+1:], nd.children[i:])
+				nd.children[i] = &tnode{}
+			}
+		}
+		if level == last-1 {
+			return nd.leaves[i]
+		}
+		nd = nd.children[i]
+	}
+	return nil // unreachable
+}
+
+// Insert adds tup (len == arity), reporting whether it was newly added.
+func (t *Trie) Insert(tup []value.Value) bool {
+	leaf := t.descend(tup, true)
+	if leaf.insert(tup[t.arity-1]) {
+		t.size++
+		return true
+	}
+	return false
+}
+
+// Contains reports whether tup is stored.
+func (t *Trie) Contains(tup []value.Value) bool {
+	leaf := t.descend(tup, false)
+	return leaf != nil && leaf.contains(tup[t.arity-1])
+}
+
+// HasPrefix reports whether any stored tuple starts with prefix (an empty
+// prefix matches any tuple of a non-empty trie).
+func (t *Trie) HasPrefix(prefix []value.Value) bool {
+	if t.size == 0 {
+		return false
+	}
+	if len(prefix) == 0 {
+		return true
+	}
+	if len(prefix) == t.arity {
+		return t.Contains(prefix)
+	}
+	if t.arity == 1 {
+		return t.leaf.contains(prefix[0]) // len(prefix) == arity handled above
+	}
+	nd := &t.root
+	last := t.arity - 1
+	for level := 0; level < len(prefix); level++ {
+		i, ok := nd.find(prefix[level])
+		if !ok {
+			return false
+		}
+		if level == last-1 {
+			return nd.leaves[i].any()
+		}
+		if level < len(prefix)-1 {
+			nd = nd.children[i]
+		}
+	}
+	return true
+}
+
+// Iter enumerates all tuples in lexicographic order.
+func (t *Trie) Iter() *Iter { return t.Prefix(nil) }
+
+// Prefix enumerates, in lexicographic order, all tuples whose first
+// len(prefix) elements equal prefix.
+func (t *Trie) Prefix(prefix []value.Value) *Iter {
+	it := &Iter{arity: t.arity, cur: make([]value.Value, t.arity)}
+	if t.arity == 1 {
+		if len(prefix) == 1 {
+			if t.leaf.contains(prefix[0]) {
+				it.cur[0] = prefix[0]
+				it.single = true
+			}
+			return it
+		}
+		it.pushLeaf(t.leaf)
+		return it
+	}
+	nd := &t.root
+	last := t.arity - 1
+	for level, v := range prefix {
+		i, ok := nd.find(v)
+		if !ok {
+			return it // empty
+		}
+		it.cur[level] = v
+		switch {
+		case level == t.arity-1:
+			// Full-arity prefix: the single matching tuple.
+			it.single = true
+			return it
+		case level == last-1:
+			if level == len(prefix)-1 {
+				it.pushLeaf(nd.leaves[i])
+				return it
+			}
+			// Remaining prefix element is the final one; handled by the
+			// full-arity case next iteration via contains.
+			if nd.leaves[i].contains(prefix[level+1]) {
+				it.cur[level+1] = prefix[level+1]
+				it.single = true
+			}
+			return it
+		default:
+			nd = nd.children[i]
+		}
+	}
+	it.push(nd, len(prefix))
+	return it
+}
+
+type iframe struct {
+	nd    *tnode
+	i     int
+	level int
+}
+
+// Iter enumerates trie tuples. The yielded slice is reused between calls;
+// callers must copy it if they retain it.
+type Iter struct {
+	arity  int
+	cur    []value.Value
+	stack  []iframe
+	single bool // Prefix matched a complete tuple; emit cur once
+
+	// Leaf-block cursor for the final tuple element.
+	leaf     *leafSet
+	blockIdx int
+	blockBit uint64 // remaining bits of the current block
+}
+
+func (it *Iter) push(nd *tnode, level int) {
+	it.stack = append(it.stack, iframe{nd, 0, level})
+}
+
+func (it *Iter) pushLeaf(l *leafSet) {
+	it.leaf = l
+	it.blockIdx = 0
+	if len(l.blocks) > 0 {
+		it.blockBit = l.blocks[0].bits
+	}
+}
+
+// nextLeafValue advances the leaf cursor; ok=false when drained.
+func (it *Iter) nextLeafValue() (value.Value, bool) {
+	for it.leaf != nil && it.blockIdx < len(it.leaf.blocks) {
+		if it.blockBit != 0 {
+			b := it.leaf.blocks[it.blockIdx]
+			v := b.base + value.Value(bits.TrailingZeros64(it.blockBit))
+			it.blockBit &= it.blockBit - 1
+			return v, true
+		}
+		it.blockIdx++
+		if it.blockIdx < len(it.leaf.blocks) {
+			it.blockBit = it.leaf.blocks[it.blockIdx].bits
+		}
+	}
+	it.leaf = nil
+	return 0, false
+}
+
+// Next returns the next tuple, or ok=false when exhausted.
+func (it *Iter) Next() ([]value.Value, bool) {
+	if it.single {
+		it.single = false
+		return it.cur, true
+	}
+	for {
+		// Drain the active leaf first.
+		if it.leaf != nil {
+			if v, ok := it.nextLeafValue(); ok {
+				it.cur[it.arity-1] = v
+				return it.cur, true
+			}
+		}
+		if len(it.stack) == 0 {
+			return nil, false
+		}
+		top := &it.stack[len(it.stack)-1]
+		if top.i >= len(top.nd.vals) {
+			it.stack = it.stack[:len(it.stack)-1]
+			continue
+		}
+		it.cur[top.level] = top.nd.vals[top.i]
+		if top.level == it.arity-2 {
+			it.pushLeaf(top.nd.leaves[top.i])
+			top.i++
+			continue
+		}
+		child := top.nd.children[top.i]
+		top.i++
+		it.push(child, top.level+1)
+	}
+}

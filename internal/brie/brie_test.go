@@ -1,0 +1,273 @@
+package brie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sti/internal/value"
+)
+
+func drain(it *Iter) [][]value.Value {
+	var out [][]value.Value
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		c := make([]value.Value, len(t))
+		copy(c, t)
+		out = append(out, c)
+	}
+}
+
+func lessTuple(a, b []value.Value) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestEmpty(t *testing.T) {
+	tr := New(3)
+	if !tr.Empty() || tr.Size() != 0 || tr.Arity() != 3 {
+		t.Fatal("bad empty trie")
+	}
+	if tr.Contains([]value.Value{1, 2, 3}) {
+		t.Error("empty trie contains a tuple")
+	}
+	if got := drain(tr.Iter()); len(got) != 0 {
+		t.Errorf("empty trie yielded %v", got)
+	}
+}
+
+func TestBadArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestInsertContains(t *testing.T) {
+	tr := New(2)
+	if !tr.Insert([]value.Value{1, 2}) {
+		t.Fatal("first insert not new")
+	}
+	if tr.Insert([]value.Value{1, 2}) {
+		t.Fatal("duplicate insert reported new")
+	}
+	if !tr.Insert([]value.Value{1, 3}) {
+		t.Fatal("sibling insert not new")
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if !tr.Contains([]value.Value{1, 2}) || tr.Contains([]value.Value{2, 2}) {
+		t.Fatal("contains wrong")
+	}
+}
+
+func TestOrderedEnumeration(t *testing.T) {
+	tr := New(2)
+	rng := rand.New(rand.NewSource(3))
+	model := map[[2]value.Value]bool{}
+	for i := 0; i < 5000; i++ {
+		a, b := value.Value(rng.Intn(64)), value.Value(rng.Intn(64))
+		tr.Insert([]value.Value{a, b})
+		model[[2]value.Value{a, b}] = true
+	}
+	got := drain(tr.Iter())
+	if len(got) != len(model) {
+		t.Fatalf("enumerated %d, model %d", len(got), len(model))
+	}
+	for i := 1; i < len(got); i++ {
+		if !lessTuple(got[i-1], got[i]) {
+			t.Fatalf("out of order at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+	for _, tp := range got {
+		if !model[[2]value.Value{tp[0], tp[1]}] {
+			t.Fatalf("phantom tuple %v", tp)
+		}
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	tr := New(3)
+	for a := value.Value(0); a < 5; a++ {
+		for b := value.Value(0); b < 4; b++ {
+			for c := value.Value(0); c < 3; c++ {
+				tr.Insert([]value.Value{a, b, c})
+			}
+		}
+	}
+	if got := drain(tr.Prefix([]value.Value{2})); len(got) != 12 {
+		t.Fatalf("prefix (2): %d tuples, want 12", len(got))
+	}
+	if got := drain(tr.Prefix([]value.Value{2, 3})); len(got) != 3 {
+		t.Fatalf("prefix (2,3): %d tuples, want 3", len(got))
+	}
+	got := drain(tr.Prefix([]value.Value{2, 3, 1}))
+	if len(got) != 1 || got[0][2] != 1 {
+		t.Fatalf("full prefix: %v", got)
+	}
+	if got := drain(tr.Prefix([]value.Value{9})); len(got) != 0 {
+		t.Fatalf("missing prefix yielded %v", got)
+	}
+	if got := drain(tr.Prefix(nil)); len(got) != 60 {
+		t.Fatalf("empty prefix: %d tuples, want 60", len(got))
+	}
+}
+
+func TestClearSwap(t *testing.T) {
+	a, b := New(1), New(1)
+	a.Insert([]value.Value{1})
+	a.Insert([]value.Value{2})
+	b.Insert([]value.Value{7})
+	a.Swap(b)
+	if a.Size() != 1 || b.Size() != 2 {
+		t.Fatalf("swap sizes: a=%d b=%d", a.Size(), b.Size())
+	}
+	a.Clear()
+	if !a.Empty() || a.Contains([]value.Value{7}) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestArityOne(t *testing.T) {
+	tr := New(1)
+	for i := 10; i > 0; i-- {
+		tr.Insert([]value.Value{value.Value(i)})
+	}
+	got := drain(tr.Iter())
+	if len(got) != 10 {
+		t.Fatalf("%d tuples", len(got))
+	}
+	for i, tp := range got {
+		if tp[0] != value.Value(i+1) {
+			t.Fatalf("position %d: %v", i, tp)
+		}
+	}
+}
+
+// TestQuickAgainstSortedModel compares full enumeration with a sorted-unique
+// reference for random tuples.
+func TestQuickAgainstSortedModel(t *testing.T) {
+	f := func(raw []uint32) bool {
+		tr := New(2)
+		seen := map[[2]value.Value]bool{}
+		for i := 0; i+1 < len(raw); i += 2 {
+			k := [2]value.Value{raw[i] % 16, raw[i+1] % 16}
+			tr.Insert(k[:])
+			seen[k] = true
+		}
+		var want [][2]value.Value
+		for k := range seen {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return lessTuple(want[i][:], want[j][:]) })
+		got := drain(tr.Iter())
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseBitmapLeaves(t *testing.T) {
+	// A dense run of final elements exercises the bitmap blocks.
+	tr := New(2)
+	for v := value.Value(100); v < 400; v++ {
+		if !tr.Insert([]value.Value{7, v}) {
+			t.Fatalf("insert %d reported duplicate", v)
+		}
+	}
+	if tr.Size() != 300 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	got := drain(tr.Prefix([]value.Value{7}))
+	if len(got) != 300 {
+		t.Fatalf("prefix scan: %d tuples", len(got))
+	}
+	for i, tp := range got {
+		if tp[1] != value.Value(100+i) {
+			t.Fatalf("position %d: %v", i, tp)
+		}
+	}
+	if !tr.Contains([]value.Value{7, 255}) || tr.Contains([]value.Value{7, 400}) {
+		t.Fatal("contains over bitmap wrong")
+	}
+}
+
+func TestBlockBoundaries(t *testing.T) {
+	// Values straddling 64-bit block boundaries.
+	tr := New(1)
+	vals := []value.Value{0, 63, 64, 127, 128, 4095, 4096, ^value.Value(0)}
+	for _, v := range vals {
+		tr.Insert([]value.Value{v})
+	}
+	got := drain(tr.Iter())
+	if len(got) != len(vals) {
+		t.Fatalf("enumerated %d", len(got))
+	}
+	for i, v := range vals {
+		if got[i][0] != v {
+			t.Fatalf("position %d: %v want %d", i, got[i], v)
+		}
+	}
+	for _, v := range vals {
+		if !tr.Contains([]value.Value{v}) {
+			t.Fatalf("missing %d", v)
+		}
+	}
+	if tr.Contains([]value.Value{1}) || tr.Contains([]value.Value{65}) {
+		t.Fatal("phantom value")
+	}
+}
+
+func TestArityOnePrefix(t *testing.T) {
+	tr := New(1)
+	tr.Insert([]value.Value{5})
+	if got := drain(tr.Prefix([]value.Value{5})); len(got) != 1 || got[0][0] != 5 {
+		t.Fatalf("full prefix on arity 1: %v", got)
+	}
+	if got := drain(tr.Prefix([]value.Value{6})); len(got) != 0 {
+		t.Fatalf("missing prefix on arity 1: %v", got)
+	}
+	if !tr.HasPrefix(nil) || !tr.HasPrefix([]value.Value{5}) || tr.HasPrefix([]value.Value{6}) {
+		t.Fatal("HasPrefix on arity 1 wrong")
+	}
+}
+
+func TestPenultimatePrefix(t *testing.T) {
+	tr := New(3)
+	tr.Insert([]value.Value{1, 2, 3})
+	tr.Insert([]value.Value{1, 2, 4})
+	// Prefix of length arity-1 lands exactly on a leaf set.
+	if got := drain(tr.Prefix([]value.Value{1, 2})); len(got) != 2 {
+		t.Fatalf("penultimate prefix: %v", got)
+	}
+	if !tr.HasPrefix([]value.Value{1, 2}) || tr.HasPrefix([]value.Value{1, 3}) {
+		t.Fatal("HasPrefix at penultimate level wrong")
+	}
+	// Full-arity prefix.
+	if got := drain(tr.Prefix([]value.Value{1, 2, 4})); len(got) != 1 || got[0][2] != 4 {
+		t.Fatalf("full prefix: %v", got)
+	}
+	if got := drain(tr.Prefix([]value.Value{1, 2, 9})); len(got) != 0 {
+		t.Fatalf("absent full prefix: %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchKeys(n int) []k2 {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]k2, n)
+	for i := range keys {
+		keys[i] = k2{rng.Uint32(), rng.Uint32()}
+	}
+	return keys
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := New[k2]()
+		for _, k := range keys {
+			tr.Insert(k)
+		}
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := New[k2]()
+		for j := 0; j < 1<<16; j++ {
+			tr.Insert(k2{uint32(j), 0})
+		}
+	}
+}
+
+func BenchmarkContainsHit(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	tr := New[k2]()
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Contains(keys[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkIterate(b *testing.B) {
+	keys := benchKeys(1 << 16)
+	tr := New[k2]()
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.Iter()
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	tr := New[k2]()
+	for a := uint32(0); a < 1024; a++ {
+		for c := uint32(0); c < 64; c++ {
+			tr.Insert(k2{a, c})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := tr.Range(k2{uint32(i) & 1023, 0}, k2{uint32(i) & 1023, ^uint32(0)})
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+		}
+	}
+}

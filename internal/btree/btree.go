@@ -1,0 +1,199 @@
+// Package btree implements the specialized in-memory B-tree used to store
+// relations, modelled on Soufflé's Datalog-enabled B-tree (Jordan et al.,
+// PPoPP 2019; paper §2).
+//
+// The tree is generic over its key type. The engine instantiates it with
+// fixed-arity tuple types ([1]uint32 .. [16]uint32 wrappers defined in
+// internal/relation), so the Go compiler generates a distinct instantiation
+// per arity with a fixed-trip-count comparison loop — the Go analog of the
+// paper's C++ template specialization, recovered for the interpreter through
+// the arity factory (the de-specialization of §3).
+//
+// Datalog evaluation only ever inserts, tests membership, enumerates, and
+// clears; there is no deletion, which keeps the structure simple and fast.
+// All mutating operations require external synchronization; read-only
+// operations (Contains, iteration) may run concurrently with each other.
+package btree
+
+// Key is the constraint for tree keys: a comparable value with a total
+// lexicographic order. Cmp returns <0, 0, or >0.
+type Key[K any] interface {
+	comparable
+	Cmp(K) int
+}
+
+// degree is the minimum branching factor (CLRS t). Every node except the
+// root holds between degree-1 and 2*degree-1 keys. 8 gives 15-key nodes:
+// 60-240 bytes of keys per node for arities 1-16, a good fit for a few
+// cache lines.
+const degree = 8
+
+const maxKeys = 2*degree - 1
+
+type node[K Key[K]] struct {
+	keys     [maxKeys]K
+	n        int8
+	children []*node[K] // nil for leaves; len n+1 otherwise
+}
+
+func (nd *node[K]) leaf() bool { return nd.children == nil }
+
+// find returns the first index i with keys[i] >= k, and whether keys[i] == k.
+func (nd *node[K]) find(k K) (int, bool) {
+	lo, hi := 0, int(nd.n)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if nd.keys[mid].Cmp(k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < int(nd.n) && nd.keys[lo] == k
+}
+
+// Tree is an ordered set of K. The zero value is an empty tree.
+type Tree[K Key[K]] struct {
+	root *node[K]
+	size int
+}
+
+// New returns an empty tree.
+func New[K Key[K]]() *Tree[K] { return &Tree[K]{} }
+
+// Size reports the number of keys stored.
+func (t *Tree[K]) Size() int { return t.size }
+
+// Empty reports whether the tree holds no keys.
+func (t *Tree[K]) Empty() bool { return t.size == 0 }
+
+// Clear removes all keys.
+func (t *Tree[K]) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+// Swap exchanges the contents of two trees in O(1).
+func (t *Tree[K]) Swap(o *Tree[K]) {
+	t.root, o.root = o.root, t.root
+	t.size, o.size = o.size, t.size
+}
+
+// Contains reports whether k is in the set.
+func (t *Tree[K]) Contains(k K) bool {
+	nd := t.root
+	for nd != nil {
+		i, ok := nd.find(k)
+		if ok {
+			return true
+		}
+		if nd.leaf() {
+			return false
+		}
+		nd = nd.children[i]
+	}
+	return false
+}
+
+// Insert adds k to the set, reporting whether it was newly added.
+func (t *Tree[K]) Insert(k K) bool {
+	if t.root == nil {
+		t.root = &node[K]{}
+		t.root.keys[0] = k
+		t.root.n = 1
+		t.size = 1
+		return true
+	}
+	if int(t.root.n) == maxKeys {
+		// Preemptive root split.
+		r := &node[K]{children: make([]*node[K], 1, 2*degree)}
+		r.children[0] = t.root
+		r.splitChild(0)
+		t.root = r
+	}
+	if t.insertNonFull(t.root, k) {
+		t.size++
+		return true
+	}
+	return false
+}
+
+// splitChild splits the full child at index i of nd, lifting its median key
+// into nd. nd must not be full.
+func (nd *node[K]) splitChild(i int) {
+	child := nd.children[i]
+	right := &node[K]{}
+	right.n = degree - 1
+	copy(right.keys[:], child.keys[degree:])
+	if !child.leaf() {
+		right.children = make([]*node[K], degree, 2*degree)
+		copy(right.children, child.children[degree:])
+		child.children = child.children[:degree]
+	}
+	median := child.keys[degree-1]
+	var zero K
+	for j := degree - 1; j < maxKeys; j++ {
+		child.keys[j] = zero
+	}
+	child.n = degree - 1
+
+	nd.children = append(nd.children, nil)
+	copy(nd.children[i+2:], nd.children[i+1:])
+	nd.children[i+1] = right
+	copy(nd.keys[i+1:], nd.keys[i:int(nd.n)])
+	nd.keys[i] = median
+	nd.n++
+}
+
+func (t *Tree[K]) insertNonFull(nd *node[K], k K) bool {
+	for {
+		i, ok := nd.find(k)
+		if ok {
+			return false
+		}
+		if nd.leaf() {
+			copy(nd.keys[i+1:], nd.keys[i:int(nd.n)])
+			nd.keys[i] = k
+			nd.n++
+			return true
+		}
+		if int(nd.children[i].n) == maxKeys {
+			nd.splitChild(i)
+			// The lifted median may equal k or change which child k goes to.
+			if c := nd.keys[i].Cmp(k); c == 0 {
+				return false
+			} else if c < 0 {
+				i++
+			}
+		}
+		nd = nd.children[i]
+	}
+}
+
+// ForEach calls fn on every key in ascending order until fn returns false.
+func (t *Tree[K]) ForEach(fn func(K) bool) {
+	forEach(t.root, fn)
+}
+
+func forEach[K Key[K]](nd *node[K], fn func(K) bool) bool {
+	if nd == nil {
+		return true
+	}
+	if nd.leaf() {
+		for i := 0; i < int(nd.n); i++ {
+			if !fn(nd.keys[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < int(nd.n); i++ {
+		if !forEach(nd.children[i], fn) {
+			return false
+		}
+		if !fn(nd.keys[i]) {
+			return false
+		}
+	}
+	return forEach(nd.children[nd.n], fn)
+}

@@ -1,0 +1,91 @@
+package btree
+
+// Iter is a forward in-order iterator, optionally bounded above. The zero
+// value is an exhausted iterator. Iterators are invalidated by any mutation
+// of the tree they traverse.
+type Iter[K Key[K]] struct {
+	stack   []frame[K]
+	hi      K
+	bounded bool
+	hiExcl  *K // exclusive upper bound for partitioned scans
+}
+
+type frame[K Key[K]] struct {
+	nd *node[K]
+	i  int
+}
+
+// Iter returns an iterator over all keys in ascending order.
+func (t *Tree[K]) Iter() Iter[K] {
+	var it Iter[K]
+	it.pushLeft(t.root)
+	return it
+}
+
+// Seek returns an iterator positioned at the first key >= lo.
+func (t *Tree[K]) Seek(lo K) Iter[K] {
+	var it Iter[K]
+	it.seek(t.root, lo)
+	return it
+}
+
+// Range returns an iterator over keys k with lo <= k <= hi.
+func (t *Tree[K]) Range(lo, hi K) Iter[K] {
+	it := t.Seek(lo)
+	it.hi = hi
+	it.bounded = true
+	return it
+}
+
+// pushLeft descends to the leftmost position of the subtree rooted at nd.
+func (it *Iter[K]) pushLeft(nd *node[K]) {
+	for nd != nil {
+		it.stack = append(it.stack, frame[K]{nd, 0})
+		if nd.leaf() {
+			return
+		}
+		nd = nd.children[0]
+	}
+}
+
+// seek builds the traversal stack so that Next yields keys >= lo in order.
+func (it *Iter[K]) seek(nd *node[K], lo K) {
+	for nd != nil {
+		i, _ := nd.find(lo)
+		it.stack = append(it.stack, frame[K]{nd, i})
+		if nd.leaf() {
+			return
+		}
+		nd = nd.children[i]
+	}
+}
+
+// Next returns the next key, or ok=false when the iterator is exhausted or
+// the next key exceeds the upper bound.
+func (it *Iter[K]) Next() (K, bool) {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		nd := top.nd
+		if top.i < int(nd.n) {
+			k := nd.keys[top.i]
+			if it.bounded && k.Cmp(it.hi) > 0 {
+				it.stack = it.stack[:0]
+				var zero K
+				return zero, false
+			}
+			if it.hiExcl != nil && k.Cmp(*it.hiExcl) >= 0 {
+				it.stack = it.stack[:0]
+				var zero K
+				return zero, false
+			}
+			top.i++
+			if !nd.leaf() {
+				it.pushLeft(nd.children[top.i])
+			}
+			return k, true
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+	var zero K
+	return zero, false
+}

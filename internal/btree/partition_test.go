@@ -1,0 +1,95 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSeparatorKeysEmpty(t *testing.T) {
+	tr := New[k2]()
+	if got := tr.SeparatorKeys(4); len(got) != 0 {
+		t.Fatalf("empty tree separators: %v", got)
+	}
+	tr.Insert(k2{1, 1})
+	if got := tr.SeparatorKeys(1); len(got) != 0 {
+		t.Fatalf("max=1 separators: %v", got)
+	}
+}
+
+func TestSeekBeforeCoversDisjointly(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New[k2]()
+	model := map[k2]bool{}
+	for i := 0; i < 10000; i++ {
+		k := k2{rng.Uint32() % 997, rng.Uint32() % 31}
+		tr.Insert(k)
+		model[k] = true
+	}
+	for _, parts := range []int{2, 3, 8, 64} {
+		seps := tr.SeparatorKeys(parts)
+		if len(seps) >= parts {
+			t.Fatalf("%d parts produced %d separators", parts, len(seps))
+		}
+		for i := 1; i < len(seps); i++ {
+			if seps[i-1].Cmp(seps[i]) >= 0 {
+				t.Fatalf("separators unsorted: %v", seps)
+			}
+		}
+		seen := map[k2]bool{}
+		var prev *k2
+		total := 0
+		for i := 0; i <= len(seps); i++ {
+			var hi *k2
+			if i < len(seps) {
+				hi = &seps[i]
+			}
+			it := tr.SeekBefore(prev, hi)
+			for {
+				k, ok := it.Next()
+				if !ok {
+					break
+				}
+				if seen[k] {
+					t.Fatalf("key %v yielded twice with %d parts", k, parts)
+				}
+				seen[k] = true
+				total++
+			}
+			if i < len(seps) {
+				prev = &seps[i]
+			}
+		}
+		if total != tr.Size() {
+			t.Fatalf("%d parts covered %d of %d keys", parts, total, tr.Size())
+		}
+		for k := range model {
+			if !seen[k] {
+				t.Fatalf("key %v missed with %d parts", k, parts)
+			}
+		}
+	}
+}
+
+func TestSeekBeforeBounds(t *testing.T) {
+	tr := New[k2]()
+	for i := uint32(0); i < 100; i++ {
+		tr.Insert(k2{i, 0})
+	}
+	lo := k2{10, 0}
+	hi := k2{20, 0}
+	it := tr.SeekBefore(&lo, &hi)
+	count := 0
+	for {
+		k, ok := it.Next()
+		if !ok {
+			break
+		}
+		if k[0] < 10 || k[0] >= 20 {
+			t.Fatalf("key %v escapes [10, 20)", k)
+		}
+		count++
+	}
+	if count != 10 {
+		t.Fatalf("counted %d keys in [10,20)", count)
+	}
+}

@@ -1,0 +1,68 @@
+package codegen
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"sti/internal/ram"
+	"sti/internal/symtab"
+)
+
+// WriteProgram emits the synthesized source for prog into
+// <moduleRoot>/gen/<name>/main.go. The directory must live inside this
+// module because the emitted code imports the engine's internal packages
+// (as Soufflé-synthesized C++ includes the Soufflé headers).
+func WriteProgram(moduleRoot, name string, prog *ram.Program, st *symtab.Table) (string, error) {
+	src, err := Emit(prog, st)
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Join(moduleRoot, "gen", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), src, 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// Build compiles the synthesized program with the Go toolchain, returning
+// the binary path and the wall-clock compile time — the synthesizer's
+// compile-time overhead measured by the paper's Table 1.
+func Build(moduleRoot, dir string) (string, time.Duration, error) {
+	bin := filepath.Join(dir, "prog")
+	start := time.Now()
+	cmd := exec.Command("go", "build", "-o", bin, "./"+mustRel(moduleRoot, dir))
+	cmd.Dir = moduleRoot
+	out, err := cmd.CombinedOutput()
+	elapsed := time.Since(start)
+	if err != nil {
+		return "", elapsed, fmt.Errorf("go build failed: %v\n%s", err, out)
+	}
+	return bin, elapsed, nil
+}
+
+func mustRel(base, target string) string {
+	rel, err := filepath.Rel(base, target)
+	if err != nil {
+		return target
+	}
+	return rel
+}
+
+// RunBinary executes a synthesized binary against a facts directory,
+// returning its wall-clock run time.
+func RunBinary(bin, factsDir, outDir string) (time.Duration, error) {
+	start := time.Now()
+	cmd := exec.Command(bin, "-F", factsDir, "-D", outDir)
+	out, err := cmd.CombinedOutput()
+	elapsed := time.Since(start)
+	if err != nil {
+		return elapsed, fmt.Errorf("synthesized binary failed: %v\n%s", err, out)
+	}
+	return elapsed, nil
+}

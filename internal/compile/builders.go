@@ -1,0 +1,136 @@
+package compile
+
+import (
+	"sti/internal/btree"
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/rtl"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// This file holds the generic typed builders: each returns a closure that
+// captures the concrete B-tree instance(s), conversion glue, and
+// sub-closures, so execution performs no dispatch at all. The generated
+// dispatch_gen.go instantiates them per arity.
+
+func makeScanBT[K btree.Key[K]](tree *btree.Tree[K], fromKey func(K, tuple.Tuple), tid int32, body opFn) opFn {
+	return func(r *rt) {
+		it := tree.Iter()
+		slot := r.tuples[tid]
+		for {
+			k, ok := it.Next()
+			if !ok {
+				return
+			}
+			fromKey(k, slot)
+			body(r)
+		}
+	}
+}
+
+// evalBounds fills the lo/hi arrays of a prefix search.
+func evalBounds(r *rt, pat []exprFn, arity int32, lo, hi []value.Value) {
+	for i, p := range pat {
+		v := p(r)
+		lo[i] = v
+		hi[i] = v
+	}
+	for i := int32(len(pat)); i < arity; i++ {
+		lo[i] = 0
+		hi[i] = ^value.Value(0)
+	}
+}
+
+func makeIndexScanBT[K btree.Key[K]](tree *btree.Tree[K], toKey func(tuple.Tuple) K, fromKey func(K, tuple.Tuple), tid, arity int32, pat []exprFn, body opFn) opFn {
+	return func(r *rt) {
+		var lo, hi [relation.MaxArity]value.Value
+		evalBounds(r, pat, arity, lo[:], hi[:])
+		it := tree.Range(toKey(lo[:arity]), toKey(hi[:arity]))
+		slot := r.tuples[tid]
+		for {
+			k, ok := it.Next()
+			if !ok {
+				return
+			}
+			fromKey(k, slot)
+			body(r)
+		}
+	}
+}
+
+func makeInsertBT[K btree.Key[K]](impls []any, orders []tuple.Order, toKey func(tuple.Tuple) K, arity int32, exprs []exprFn) opFn {
+	trees := make([]*btree.Tree[K], len(impls))
+	for i, impl := range impls {
+		trees[i] = impl.(*btree.Tree[K])
+	}
+	return func(r *rt) {
+		var src, enc [relation.MaxArity]value.Value
+		for i, e := range exprs {
+			src[i] = e(r)
+		}
+		for i, tree := range trees {
+			orders[i].Encode(enc[:arity], src[:arity])
+			tree.Insert(toKey(enc[:arity]))
+		}
+	}
+}
+
+func makeExistsBT[K btree.Key[K]](tree *btree.Tree[K], toKey func(tuple.Tuple) K, arity int32, pat []exprFn) condFn {
+	switch {
+	case len(pat) == int(arity):
+		return func(r *rt) bool {
+			var key [relation.MaxArity]value.Value
+			for i, p := range pat {
+				key[i] = p(r)
+			}
+			return tree.Contains(toKey(key[:arity]))
+		}
+	case len(pat) == 0:
+		return func(*rt) bool { return tree.Size() > 0 }
+	default:
+		return func(r *rt) bool {
+			var lo, hi [relation.MaxArity]value.Value
+			evalBounds(r, pat, arity, lo[:], hi[:])
+			it := tree.Range(toKey(lo[:arity]), toKey(hi[:arity]))
+			_, ok := it.Next()
+			return ok
+		}
+	}
+}
+
+func makeAggregateBT[K btree.Key[K]](tree *btree.Tree[K], toKey func(tuple.Tuple) K, fromKey func(K, tuple.Tuple), kind ram.AggKind, typ value.Type, tid, arity int32, pat []exprFn, cond condFn, target exprFn, body opFn) opFn {
+	return func(r *rt) {
+		r.tuples[tid] = r.base[tid]
+		var it btree.Iter[K]
+		if len(pat) == 0 {
+			it = tree.Iter()
+		} else {
+			var lo, hi [relation.MaxArity]value.Value
+			evalBounds(r, pat, arity, lo[:], hi[:])
+			it = tree.Range(toKey(lo[:arity]), toKey(hi[:arity]))
+		}
+		slot := r.tuples[tid]
+		var acc rtl.AggAcc
+		acc.Init(kind, typ)
+		for {
+			k, ok := it.Next()
+			if !ok {
+				break
+			}
+			fromKey(k, slot)
+			if cond != nil && !cond(r) {
+				continue
+			}
+			var v value.Value
+			if target != nil {
+				v = target(r)
+			}
+			acc.Step(v)
+		}
+		if res, ok := acc.Finish(); ok {
+			r.tuples[tid] = tuple.Tuple{res}
+			body(r)
+		}
+	}
+}

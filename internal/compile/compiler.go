@@ -1,0 +1,636 @@
+package compile
+
+import (
+	"fmt"
+	"time"
+
+	"sti/internal/brie"
+	"sti/internal/eqrel"
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/rtl"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// compiler lowers RAM into closures. Tuple reordering is always static
+// (encoded coordinates), matching the synthesized code the paper compares
+// against.
+type compiler struct {
+	m      *Machine
+	coords map[int32]tuple.Order
+}
+
+func (c *compiler) relation(r *ram.Relation) *relation.Relation {
+	return c.m.rels[r.ID]
+}
+
+func (c *compiler) compileStmt(s ram.Statement) stmtFn {
+	switch s := s.(type) {
+	case *ram.Sequence:
+		stmts := make([]stmtFn, len(s.Stmts))
+		for i, st := range s.Stmts {
+			stmts[i] = c.compileStmt(st)
+		}
+		return func(st *state) {
+			for _, f := range stmts {
+				f(st)
+				if st.exit {
+					return
+				}
+			}
+		}
+	case *ram.Loop:
+		body := c.compileStmt(s.Body)
+		return func(st *state) {
+			for {
+				body(st)
+				if st.exit {
+					st.exit = false
+					return
+				}
+			}
+		}
+	case *ram.Exit:
+		cond := c.compileCond(s.Cond)
+		return func(st *state) {
+			if cond(nil) {
+				st.exit = true
+			}
+		}
+	case *ram.Query:
+		c.coords = map[int32]tuple.Order{}
+		widths := make([]int32, s.NumTuples)
+		c.measureWidths(s.Root, widths)
+		root := c.compileOp(s.Root)
+		id := s.RuleID
+		c.m.ruleLabels[id] = s.Label
+		times := c.m.ruleTimes
+		return func(st *state) {
+			start := time.Now()
+			root(newRT(widths))
+			times[id] += time.Since(start)
+		}
+	case *ram.Clear:
+		rel := c.relation(s.Rel)
+		return func(*state) { rel.Clear() }
+	case *ram.Swap:
+		a, b := c.relation(s.A), c.relation(s.B)
+		return func(*state) { a.SwapContents(b) }
+	case *ram.Merge:
+		dst, src := c.relation(s.Dst), c.relation(s.Src)
+		return func(*state) {
+			it := src.Scan()
+			for {
+				t, ok := it.Next()
+				if !ok {
+					return
+				}
+				dst.Insert(t)
+			}
+		}
+	case *ram.IO:
+		rel := c.relation(s.Rel)
+		decl := s.Rel
+		switch s.Kind {
+		case ram.IOLoad:
+			return func(st *state) {
+				err := st.io.Load(decl, func(t tuple.Tuple) error {
+					rel.Insert(t)
+					return nil
+				})
+				if err != nil {
+					rtl.Fail("loading %s: %v", rel.Name, err)
+				}
+			}
+		case ram.IOStore:
+			return func(st *state) {
+				if err := st.io.Store(decl, rel.Scan()); err != nil {
+					rtl.Fail("storing %s: %v", rel.Name, err)
+				}
+			}
+		default:
+			return func(st *state) {
+				if err := st.io.PrintSize(decl, rel.Size()); err != nil {
+					rtl.Fail("printsize %s: %v", rel.Name, err)
+				}
+			}
+		}
+	case *ram.LogTimer:
+		return c.compileStmt(s.Stmt)
+	default:
+		panic(fmt.Sprintf("compile: unknown RAM statement %T", s))
+	}
+}
+
+// measureWidths records each tuple slot's width.
+func (c *compiler) measureWidths(o ram.Operation, widths []int32) {
+	switch o := o.(type) {
+	case *ram.Scan:
+		widths[o.TupleID] = int32(o.Rel.Arity)
+		c.measureWidths(o.Nested, widths)
+	case *ram.IndexScan:
+		widths[o.TupleID] = int32(o.Rel.Arity)
+		c.measureWidths(o.Nested, widths)
+	case *ram.Choice:
+		widths[o.TupleID] = int32(o.Rel.Arity)
+		c.measureWidths(o.Nested, widths)
+	case *ram.IndexChoice:
+		widths[o.TupleID] = int32(o.Rel.Arity)
+		c.measureWidths(o.Nested, widths)
+	case *ram.Filter:
+		c.measureWidths(o.Nested, widths)
+	case *ram.Aggregate:
+		w := int32(o.Rel.Arity)
+		if w < 1 {
+			w = 1
+		}
+		widths[o.TupleID] = w
+		c.measureWidths(o.Nested, widths)
+	case *ram.Project:
+	default:
+		panic(fmt.Sprintf("compile: unknown RAM operation %T", o))
+	}
+}
+
+func (c *compiler) compileOp(o ram.Operation) opFn {
+	switch o := o.(type) {
+	case *ram.Scan:
+		rel := c.relation(o.Rel)
+		idx := rel.Primary()
+		tid := int32(o.TupleID)
+		c.bindCoords(tid, idx.Order())
+		body := c.compileOp(o.Nested)
+		switch rel.Rep() {
+		case relation.BTree:
+			return buildScanBT(relation.Impl(idx), tid, body)
+		case relation.EqRel:
+			er := relation.Impl(idx).(*eqrel.Rel)
+			return func(r *rt) {
+				it := er.Iter()
+				slot := r.tuples[tid]
+				for {
+					t, ok := it.Next()
+					if !ok {
+						return
+					}
+					copy(slot, t)
+					body(r)
+				}
+			}
+		default: // brie
+			tr := relation.Impl(idx).(*brie.Trie)
+			return func(r *rt) {
+				it := tr.Iter()
+				slot := r.tuples[tid]
+				for {
+					t, ok := it.Next()
+					if !ok {
+						return
+					}
+					copy(slot, t)
+					body(r)
+				}
+			}
+		}
+
+	case *ram.IndexScan:
+		rel := c.relation(o.Rel)
+		idx := rel.Index(o.IndexID)
+		tid := int32(o.TupleID)
+		pat := c.compilePattern(o.Pattern, idx.Order())
+		c.bindCoords(tid, idx.Order())
+		body := c.compileOp(o.Nested)
+		switch rel.Rep() {
+		case relation.BTree:
+			return buildIndexScanBT(relation.Impl(idx), tid, int32(rel.Arity()), pat, body)
+		case relation.EqRel:
+			er := relation.Impl(idx).(*eqrel.Rel)
+			if len(pat) >= 2 {
+				p0, p1 := pat[0], pat[1]
+				return func(r *rt) {
+					a, b := p0(r), p1(r)
+					if er.Contains(a, b) {
+						slot := r.tuples[tid]
+						slot[0], slot[1] = a, b
+						body(r)
+					}
+				}
+			}
+			p0 := pat[0]
+			return func(r *rt) {
+				it := er.PrefixFirst(p0(r))
+				slot := r.tuples[tid]
+				for {
+					t, ok := it.Next()
+					if !ok {
+						return
+					}
+					copy(slot, t)
+					body(r)
+				}
+			}
+		default: // brie
+			tr := relation.Impl(idx).(*brie.Trie)
+			k := len(pat)
+			return func(r *rt) {
+				var p [relation.MaxArity]value.Value
+				for i, pf := range pat {
+					p[i] = pf(r)
+				}
+				it := tr.Prefix(p[:k])
+				slot := r.tuples[tid]
+				for {
+					t, ok := it.Next()
+					if !ok {
+						return
+					}
+					copy(slot, t)
+					body(r)
+				}
+			}
+		}
+
+	case *ram.Choice, *ram.IndexChoice:
+		// Choices are not emitted by the current translator; a generic
+		// adapter-backed fallback keeps the backend total.
+		return c.compileChoice(o)
+
+	case *ram.Filter:
+		cond := c.compileCond(o.Cond)
+		body := c.compileOp(o.Nested)
+		return func(r *rt) {
+			if cond(r) {
+				body(r)
+			}
+		}
+
+	case *ram.Project:
+		rel := c.relation(o.Rel)
+		exprs := make([]exprFn, len(o.Exprs))
+		for i, e := range o.Exprs {
+			exprs[i] = c.compileExpr(e)
+		}
+		switch rel.Rep() {
+		case relation.BTree:
+			impls := make([]any, rel.NumIndexes())
+			orders := make([]tuple.Order, rel.NumIndexes())
+			for i := 0; i < rel.NumIndexes(); i++ {
+				impls[i] = relation.Impl(rel.Index(i))
+				orders[i] = rel.Index(i).Order()
+			}
+			return buildInsertBT(impls, orders, int32(rel.Arity()), exprs)
+		case relation.EqRel:
+			er := relation.Impl(rel.Primary()).(*eqrel.Rel)
+			e0, e1 := exprs[0], exprs[1]
+			return func(r *rt) {
+				er.Insert(e0(r), e1(r))
+			}
+		default:
+			arity := int32(rel.Arity())
+			impls := make([]*brie.Trie, rel.NumIndexes())
+			orders := make([]tuple.Order, rel.NumIndexes())
+			for i := 0; i < rel.NumIndexes(); i++ {
+				impls[i] = relation.Impl(rel.Index(i)).(*brie.Trie)
+				orders[i] = rel.Index(i).Order()
+			}
+			return func(r *rt) {
+				var src, enc [relation.MaxArity]value.Value
+				for i, e := range exprs {
+					src[i] = e(r)
+				}
+				for i, tr := range impls {
+					orders[i].Encode(enc[:arity], src[:arity])
+					tr.Insert(enc[:arity])
+				}
+			}
+		}
+
+	case *ram.Aggregate:
+		rel := c.relation(o.Rel)
+		var idx relation.Index
+		if o.IndexID >= 0 {
+			idx = rel.Index(o.IndexID)
+		} else {
+			idx = rel.Primary()
+		}
+		tid := int32(o.TupleID)
+		pat := c.compilePattern(o.Pattern, idx.Order())
+		c.bindCoords(tid, idx.Order())
+		var cond condFn
+		if o.Cond != nil {
+			cond = c.compileCond(o.Cond)
+		}
+		var target exprFn
+		if o.Target != nil {
+			target = c.compileExpr(o.Target)
+		}
+		delete(c.coords, tid)
+		body := c.compileOp(o.Nested)
+		if rel.Rep() == relation.BTree {
+			return buildAggregateBT(relation.Impl(idx), o.Kind, o.Type, tid, int32(rel.Arity()), pat, cond, target, body)
+		}
+		// Adapter-backed fallback for eqrel/brie aggregates.
+		arity := int32(rel.Arity())
+		k := len(pat)
+		kind, typ := o.Kind, o.Type
+		return func(r *rt) {
+			r.tuples[tid] = r.base[tid]
+			var p [relation.MaxArity]value.Value
+			for i, pf := range pat {
+				p[i] = pf(r)
+			}
+			it := idx.PrefixScan(p[:arity], k)
+			slot := r.tuples[tid]
+			var acc rtl.AggAcc
+			acc.Init(kind, typ)
+			for {
+				t, ok := it.Next()
+				if !ok {
+					break
+				}
+				copy(slot, t)
+				if cond != nil && !cond(r) {
+					continue
+				}
+				var v value.Value
+				if target != nil {
+					v = target(r)
+				}
+				acc.Step(v)
+			}
+			if res, ok := acc.Finish(); ok {
+				r.tuples[tid] = tuple.Tuple{res}
+				body(r)
+			}
+		}
+
+	default:
+		panic(fmt.Sprintf("compile: unknown RAM operation %T", o))
+	}
+}
+
+// compileChoice is the generic fallback for (index) choice operations.
+func (c *compiler) compileChoice(o ram.Operation) opFn {
+	switch o := o.(type) {
+	case *ram.Choice:
+		rel := c.relation(o.Rel)
+		idx := rel.Primary()
+		tid := int32(o.TupleID)
+		c.bindCoords(tid, idx.Order())
+		cond := c.compileChoiceCond(o.Cond)
+		body := c.compileOp(o.Nested)
+		return func(r *rt) {
+			it := idx.Scan()
+			for {
+				t, ok := it.Next()
+				if !ok {
+					return
+				}
+				copy(r.tuples[tid], t)
+				if cond(r) {
+					body(r)
+					return
+				}
+			}
+		}
+	case *ram.IndexChoice:
+		rel := c.relation(o.Rel)
+		idx := rel.Index(o.IndexID)
+		tid := int32(o.TupleID)
+		pat := c.compilePattern(o.Pattern, idx.Order())
+		c.bindCoords(tid, idx.Order())
+		cond := c.compileChoiceCond(o.Cond)
+		body := c.compileOp(o.Nested)
+		arity := int32(rel.Arity())
+		k := len(pat)
+		return func(r *rt) {
+			var p [relation.MaxArity]value.Value
+			for i, pf := range pat {
+				p[i] = pf(r)
+			}
+			it := idx.PrefixScan(p[:arity], k)
+			for {
+				t, ok := it.Next()
+				if !ok {
+					return
+				}
+				copy(r.tuples[tid], t)
+				if cond(r) {
+					body(r)
+					return
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("compile: not a choice: %T", o))
+	}
+}
+
+// compileChoiceCond compiles a choice condition, treating nil as true.
+func (c *compiler) compileChoiceCond(cond ram.Condition) condFn {
+	if cond == nil {
+		return func(*rt) bool { return true }
+	}
+	return c.compileCond(cond)
+}
+
+func (c *compiler) bindCoords(tid int32, order tuple.Order) {
+	if !order.IsIdentity() {
+		c.coords[tid] = order
+	}
+}
+
+// compilePattern lowers a source-coordinate pattern into encoded-prefix
+// expression closures.
+func (c *compiler) compilePattern(pattern []ram.Expr, order tuple.Order) []exprFn {
+	var out []exprFn
+	for i := 0; i < len(order); i++ {
+		src := pattern[order[i]]
+		if src == nil {
+			break
+		}
+		out = append(out, c.compileExpr(src))
+	}
+	return out
+}
+
+func (c *compiler) compileCond(cond ram.Condition) condFn {
+	switch cond := cond.(type) {
+	case *ram.And:
+		l, r := c.compileCond(cond.L), c.compileCond(cond.R)
+		return func(rt *rt) bool { return l(rt) && r(rt) }
+	case *ram.Not:
+		inner := c.compileCond(cond.C)
+		return func(rt *rt) bool { return !inner(rt) }
+	case *ram.EmptinessCheck:
+		rel := c.relation(cond.Rel)
+		return func(*rt) bool { return rel.Empty() }
+	case *ram.ExistenceCheck:
+		rel := c.relation(cond.Rel)
+		idx := rel.Index(cond.IndexID)
+		pat := c.compilePattern(cond.Pattern, idx.Order())
+		switch rel.Rep() {
+		case relation.BTree:
+			return buildExistsBT(relation.Impl(idx), int32(rel.Arity()), pat)
+		case relation.EqRel:
+			er := relation.Impl(idx).(*eqrel.Rel)
+			switch len(pat) {
+			case 0:
+				return func(*rt) bool { return er.Size() > 0 }
+			case 1:
+				p0 := pat[0]
+				return func(r *rt) bool { return er.Class(p0(r)) != nil }
+			default:
+				p0, p1 := pat[0], pat[1]
+				return func(r *rt) bool { return er.Contains(p0(r), p1(r)) }
+			}
+		default:
+			tr := relation.Impl(idx).(*brie.Trie)
+			arity := rel.Arity()
+			k := len(pat)
+			if k == arity {
+				return func(r *rt) bool {
+					var p [relation.MaxArity]value.Value
+					for i, pf := range pat {
+						p[i] = pf(r)
+					}
+					return tr.Contains(p[:arity])
+				}
+			}
+			return func(r *rt) bool {
+				var p [relation.MaxArity]value.Value
+				for i, pf := range pat {
+					p[i] = pf(r)
+				}
+				return tr.HasPrefix(p[:k])
+			}
+		}
+	case *ram.Constraint:
+		l, r := c.compileExpr(cond.L), c.compileExpr(cond.R)
+		return compileCompare(cond.Op, cond.Type, l, r)
+	default:
+		panic(fmt.Sprintf("compile: unknown RAM condition %T", cond))
+	}
+}
+
+// compileCompare monomorphizes a comparison per operator and type.
+func compileCompare(op ram.CmpOp, typ value.Type, l, r exprFn) condFn {
+	switch op {
+	case ram.CmpEQ:
+		return func(rt *rt) bool { return l(rt) == r(rt) }
+	case ram.CmpNE:
+		return func(rt *rt) bool { return l(rt) != r(rt) }
+	}
+	if typ == value.Number {
+		switch op {
+		case ram.CmpLT:
+			return func(rt *rt) bool { return int32(l(rt)) < int32(r(rt)) }
+		case ram.CmpLE:
+			return func(rt *rt) bool { return int32(l(rt)) <= int32(r(rt)) }
+		case ram.CmpGT:
+			return func(rt *rt) bool { return int32(l(rt)) > int32(r(rt)) }
+		default:
+			return func(rt *rt) bool { return int32(l(rt)) >= int32(r(rt)) }
+		}
+	}
+	return func(rt *rt) bool { return rtl.Compare(op, typ, l(rt), r(rt)) }
+}
+
+func (c *compiler) compileExpr(e ram.Expr) exprFn {
+	switch e := e.(type) {
+	case *ram.Constant:
+		v := e.Val
+		return func(*rt) value.Value { return v }
+	case *ram.TupleElement:
+		tid := int32(e.TupleID)
+		elem := int32(e.Elem)
+		if order := c.coords[tid]; order != nil {
+			elem = int32(order.Inverse()[int(elem)])
+		}
+		return func(r *rt) value.Value { return r.tuples[tid][elem] }
+	case *ram.Intrinsic:
+		return c.compileIntrinsic(e)
+	default:
+		panic(fmt.Sprintf("compile: unknown RAM expression %T", e))
+	}
+}
+
+// compileIntrinsic monomorphizes functors: the hot signed-arithmetic
+// operators get dedicated closures; the rest route through the shared
+// runtime with the operator pre-bound.
+func (c *compiler) compileIntrinsic(e *ram.Intrinsic) exprFn {
+	args := make([]exprFn, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = c.compileExpr(a)
+	}
+	st := c.m.st
+	op, typ := e.Op, e.Type
+	switch op {
+	case ram.OpNeg:
+		a := args[0]
+		return func(r *rt) value.Value { return rtl.Neg(typ, a(r)) }
+	case ram.OpBNot:
+		a := args[0]
+		return func(r *rt) value.Value { return rtl.BNot(typ, a(r)) }
+	case ram.OpLNot:
+		a := args[0]
+		return func(r *rt) value.Value { return rtl.LNot(a(r)) }
+	case ram.OpCat:
+		return func(r *rt) value.Value {
+			vals := make([]value.Value, len(args))
+			for i, a := range args {
+				vals[i] = a(r)
+			}
+			return rtl.Cat(st, vals...)
+		}
+	case ram.OpStrlen:
+		a := args[0]
+		return func(r *rt) value.Value { return rtl.Strlen(st, a(r)) }
+	case ram.OpSubstr:
+		a, b2, c2 := args[0], args[1], args[2]
+		return func(r *rt) value.Value { return rtl.Substr(st, a(r), b2(r), c2(r)) }
+	case ram.OpOrd:
+		return args[0]
+	case ram.OpToNumber:
+		a := args[0]
+		return func(r *rt) value.Value { return rtl.ToNumber(st, a(r)) }
+	case ram.OpToString:
+		a := args[0]
+		return func(r *rt) value.Value { return rtl.ToString(st, a(r)) }
+	case ram.OpMin, ram.OpMax:
+		return func(r *rt) value.Value {
+			acc := args[0](r)
+			for _, a := range args[1:] {
+				acc = rtl.Arith(op, typ, acc, a(r))
+			}
+			return acc
+		}
+	}
+	l, r2 := args[0], args[1]
+	if typ == value.Number {
+		switch op {
+		case ram.OpAdd:
+			return func(r *rt) value.Value {
+				return value.FromInt(value.AsInt(l(r)) + value.AsInt(r2(r)))
+			}
+		case ram.OpSub:
+			return func(r *rt) value.Value {
+				return value.FromInt(value.AsInt(l(r)) - value.AsInt(r2(r)))
+			}
+		case ram.OpMul:
+			return func(r *rt) value.Value {
+				return value.FromInt(value.AsInt(l(r)) * value.AsInt(r2(r)))
+			}
+		case ram.OpBAnd:
+			return func(r *rt) value.Value {
+				return value.FromInt(value.AsInt(l(r)) & value.AsInt(r2(r)))
+			}
+		case ram.OpBOr:
+			return func(r *rt) value.Value {
+				return value.FromInt(value.AsInt(l(r)) | value.AsInt(r2(r)))
+			}
+		}
+	}
+	return func(r *rt) value.Value { return rtl.Arith(op, typ, l(r), r2(r)) }
+}

@@ -1,0 +1,51 @@
+package compile
+
+import (
+	"sti/internal/ram"
+	"sti/internal/symtab"
+	"sti/internal/tuple"
+)
+
+// CompileCondition builds a dispatch-free closure for a RAM condition whose
+// leaves are constraints (no relation probes), for the interpreter's
+// hand-crafted super-instructions (paper §5.2: fusing a hot filter's many
+// small dispatches into a single instruction). coords carries the storage
+// order of each bound tuple so element accesses are rewritten exactly as
+// the interpreter tree rewrites them.
+//
+// Returns ok=false when the condition touches relations (emptiness or
+// existence checks), which stay on the interpreter's regular path.
+func CompileCondition(cond ram.Condition, st *symtab.Table, coords map[int32]tuple.Order) (func([]tuple.Tuple) bool, bool) {
+	if !fusible(cond) {
+		return nil, false
+	}
+	c := &compiler{m: &Machine{st: st}, coords: map[int32]tuple.Order{}}
+	for k, v := range coords {
+		c.coords[k] = v
+	}
+	fn := c.compileCond(cond)
+	// Reuse one runtime environment across calls: the closure is invoked
+	// from a single-threaded interpreter loop, and a fresh allocation per
+	// filter evaluation would dwarf the dispatch savings.
+	env := &rt{}
+	return func(tuples []tuple.Tuple) bool {
+		env.tuples = tuples
+		return fn(env)
+	}, true
+}
+
+// Fusible reports whether a condition can be compiled by CompileCondition.
+func Fusible(cond ram.Condition) bool { return fusible(cond) }
+
+func fusible(cond ram.Condition) bool {
+	switch cond := cond.(type) {
+	case *ram.And:
+		return fusible(cond.L) && fusible(cond.R)
+	case *ram.Not:
+		return fusible(cond.C)
+	case *ram.Constraint:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,101 @@
+package compile_test
+
+import (
+	"testing"
+
+	"sti/internal/compile"
+	"sti/internal/ram"
+	"sti/internal/symtab"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+func constraint(op ram.CmpOp, l, r ram.Expr) *ram.Constraint {
+	return &ram.Constraint{Op: op, Type: value.Number, L: l, R: r}
+}
+
+func elem(tid, e int) ram.Expr { return &ram.TupleElement{TupleID: tid, Elem: e} }
+
+func num(n int32) ram.Expr { return &ram.Constant{Val: value.FromInt(n)} }
+
+func TestFusible(t *testing.T) {
+	rel := &ram.Relation{Name: "r", Arity: 1}
+	cases := []struct {
+		cond ram.Condition
+		want bool
+	}{
+		{constraint(ram.CmpLT, elem(0, 0), num(5)), true},
+		{&ram.And{L: constraint(ram.CmpLT, elem(0, 0), num(5)), R: constraint(ram.CmpNE, elem(0, 0), num(3))}, true},
+		{&ram.Not{C: constraint(ram.CmpEQ, elem(0, 0), num(1))}, true},
+		{&ram.EmptinessCheck{Rel: rel}, false},
+		{&ram.ExistenceCheck{Rel: rel, Pattern: []ram.Expr{num(1)}}, false},
+		{&ram.And{L: constraint(ram.CmpLT, num(1), num(2)), R: &ram.EmptinessCheck{Rel: rel}}, false},
+	}
+	for i, tc := range cases {
+		if got := compile.Fusible(tc.cond); got != tc.want {
+			t.Errorf("case %d: Fusible = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestCompileConditionEvaluates(t *testing.T) {
+	st := symtab.New()
+	// t0.0 > 2 AND (t0.0 + t1.1) % 2 = 0
+	cond := &ram.And{
+		L: constraint(ram.CmpGT, elem(0, 0), num(2)),
+		R: constraint(ram.CmpEQ,
+			&ram.Intrinsic{Op: ram.OpMod, Type: value.Number, Args: []ram.Expr{
+				&ram.Intrinsic{Op: ram.OpAdd, Type: value.Number, Args: []ram.Expr{elem(0, 0), elem(1, 1)}},
+				num(2),
+			}},
+			num(0)),
+	}
+	fn, ok := compile.CompileCondition(cond, st, nil)
+	if !ok {
+		t.Fatal("fusible condition rejected")
+	}
+	tuples := []tuple.Tuple{{0}, {0, 0}}
+	set := func(a, b value.Value) {
+		tuples[0][0] = a
+		tuples[1][1] = b
+	}
+	set(4, 2)
+	if !fn(tuples) {
+		t.Error("4>2 and (4+2)%2=0 should hold")
+	}
+	set(4, 3)
+	if fn(tuples) {
+		t.Error("(4+3)%2=0 should fail")
+	}
+	set(1, 1)
+	if fn(tuples) {
+		t.Error("1>2 should fail")
+	}
+}
+
+func TestCompileConditionRejectsRelations(t *testing.T) {
+	st := symtab.New()
+	rel := &ram.Relation{Name: "r", Arity: 1}
+	if _, ok := compile.CompileCondition(&ram.EmptinessCheck{Rel: rel}, st, nil); ok {
+		t.Fatal("relation-dependent condition compiled")
+	}
+}
+
+func TestCompileConditionAppliesCoords(t *testing.T) {
+	st := symtab.New()
+	// Element 1 of tuple 0 is stored at encoded position 0 under order
+	// (1,0); the closure must read the rewritten slot.
+	coords := map[int32]tuple.Order{0: {1, 0}}
+	cond := constraint(ram.CmpEQ, elem(0, 1), num(9))
+	fn, ok := compile.CompileCondition(cond, st, coords)
+	if !ok {
+		t.Fatal("rejected")
+	}
+	// Encoded tuple: position 0 holds source element 1.
+	if !fn([]tuple.Tuple{{9, 0}}) {
+		t.Error("coords rewrite missed")
+	}
+	if fn([]tuple.Tuple{{0, 9}}) {
+		t.Error("read unrewritten position")
+	}
+}

@@ -1,0 +1,240 @@
+// Package dyntree implements the *legacy* relation store the paper measures
+// against in §5.1: a B-tree whose lexicographic order is given by a runtime
+// comparator (an order array interpreted on every comparison) rather than
+// being compiled into the structure. Keys are dynamically-sized tuples.
+//
+// Because the comparator is a runtime argument, no comparison can be
+// specialized or inlined, and every key is a separately allocated slice —
+// exactly the costs the de-specialization framework removes. It exists only
+// as the baseline for the legacy-interpreter experiments.
+package dyntree
+
+import (
+	"sti/internal/tuple"
+)
+
+const degree = 8
+
+const maxKeys = 2*degree - 1
+
+// Cmp is a runtime tuple comparator returning <0, 0, or >0.
+type Cmp func(a, b tuple.Tuple) int
+
+// OrderCmp builds the legacy runtime comparator for a lexicographic order:
+// it walks the order array and compares the referenced elements.
+func OrderCmp(order tuple.Order) Cmp {
+	return func(a, b tuple.Tuple) int {
+		for _, p := range order {
+			switch {
+			case a[p] < b[p]:
+				return -1
+			case a[p] > b[p]:
+				return 1
+			}
+		}
+		return 0
+	}
+}
+
+type node struct {
+	keys     [maxKeys]tuple.Tuple
+	n        int8
+	children []*node
+}
+
+func (nd *node) leaf() bool { return nd.children == nil }
+
+func (nd *node) find(k tuple.Tuple, cmp Cmp) (int, bool) {
+	lo, hi := 0, int(nd.n)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cmp(nd.keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < int(nd.n) && cmp(nd.keys[lo], k) == 0
+}
+
+// Tree is an ordered tuple set with a runtime comparator.
+type Tree struct {
+	cmp  Cmp
+	root *node
+	size int
+}
+
+// New returns an empty tree ordered by cmp.
+func New(cmp Cmp) *Tree { return &Tree{cmp: cmp} }
+
+// Size reports the number of stored tuples.
+func (t *Tree) Size() int { return t.size }
+
+// Clear removes all tuples.
+func (t *Tree) Clear() {
+	t.root = nil
+	t.size = 0
+}
+
+// Swap exchanges contents with another tree in O(1).
+func (t *Tree) Swap(o *Tree) {
+	t.root, o.root = o.root, t.root
+	t.size, o.size = o.size, t.size
+}
+
+// Contains reports membership. k is not retained.
+func (t *Tree) Contains(k tuple.Tuple) bool {
+	nd := t.root
+	for nd != nil {
+		i, ok := nd.find(k, t.cmp)
+		if ok {
+			return true
+		}
+		if nd.leaf() {
+			return false
+		}
+		nd = nd.children[i]
+	}
+	return false
+}
+
+// Insert adds a copy of k, reporting whether it was newly added.
+func (t *Tree) Insert(k tuple.Tuple) bool {
+	if t.root == nil {
+		t.root = &node{}
+		t.root.keys[0] = tuple.Clone(k)
+		t.root.n = 1
+		t.size = 1
+		return true
+	}
+	if int(t.root.n) == maxKeys {
+		r := &node{children: make([]*node, 1, 2*degree)}
+		r.children[0] = t.root
+		r.splitChild(0)
+		t.root = r
+	}
+	if t.insertNonFull(t.root, k) {
+		t.size++
+		return true
+	}
+	return false
+}
+
+func (nd *node) splitChild(i int) {
+	child := nd.children[i]
+	right := &node{}
+	right.n = degree - 1
+	copy(right.keys[:], child.keys[degree:])
+	if !child.leaf() {
+		right.children = make([]*node, degree, 2*degree)
+		copy(right.children, child.children[degree:])
+		child.children = child.children[:degree]
+	}
+	median := child.keys[degree-1]
+	for j := degree - 1; j < maxKeys; j++ {
+		child.keys[j] = nil
+	}
+	child.n = degree - 1
+
+	nd.children = append(nd.children, nil)
+	copy(nd.children[i+2:], nd.children[i+1:])
+	nd.children[i+1] = right
+	copy(nd.keys[i+1:], nd.keys[i:int(nd.n)])
+	nd.keys[i] = median
+	nd.n++
+}
+
+func (t *Tree) insertNonFull(nd *node, k tuple.Tuple) bool {
+	for {
+		i, ok := nd.find(k, t.cmp)
+		if ok {
+			return false
+		}
+		if nd.leaf() {
+			copy(nd.keys[i+1:], nd.keys[i:int(nd.n)])
+			nd.keys[i] = tuple.Clone(k)
+			nd.n++
+			return true
+		}
+		if int(nd.children[i].n) == maxKeys {
+			nd.splitChild(i)
+			if c := t.cmp(nd.keys[i], k); c == 0 {
+				return false
+			} else if c < 0 {
+				i++
+			}
+		}
+		nd = nd.children[i]
+	}
+}
+
+// Iter is a forward iterator, optionally bounded above (inclusive).
+type Iter struct {
+	cmp     Cmp
+	stack   []frame
+	hi      tuple.Tuple
+	bounded bool
+}
+
+type frame struct {
+	nd *node
+	i  int
+}
+
+// Iter enumerates all tuples in comparator order.
+func (t *Tree) Iter() *Iter {
+	it := &Iter{cmp: t.cmp}
+	it.pushLeft(t.root)
+	return it
+}
+
+// Range enumerates tuples k with lo <= k <= hi in comparator order.
+func (t *Tree) Range(lo, hi tuple.Tuple) *Iter {
+	it := &Iter{cmp: t.cmp, hi: tuple.Clone(hi), bounded: true}
+	it.seek(t.root, lo)
+	return it
+}
+
+func (it *Iter) pushLeft(nd *node) {
+	for nd != nil {
+		it.stack = append(it.stack, frame{nd, 0})
+		if nd.leaf() {
+			return
+		}
+		nd = nd.children[0]
+	}
+}
+
+func (it *Iter) seek(nd *node, lo tuple.Tuple) {
+	for nd != nil {
+		i, _ := nd.find(lo, it.cmp)
+		it.stack = append(it.stack, frame{nd, i})
+		if nd.leaf() {
+			return
+		}
+		nd = nd.children[i]
+	}
+}
+
+// Next returns the next tuple, or ok=false when exhausted. The returned
+// slice is the stored key; callers must not mutate it.
+func (it *Iter) Next() (tuple.Tuple, bool) {
+	for len(it.stack) > 0 {
+		top := &it.stack[len(it.stack)-1]
+		nd := top.nd
+		if top.i < int(nd.n) {
+			k := nd.keys[top.i]
+			if it.bounded && it.cmp(k, it.hi) > 0 {
+				it.stack = it.stack[:0]
+				return nil, false
+			}
+			top.i++
+			if !nd.leaf() {
+				it.pushLeft(nd.children[top.i])
+			}
+			return k, true
+		}
+		it.stack = it.stack[:len(it.stack)-1]
+	}
+	return nil, false
+}

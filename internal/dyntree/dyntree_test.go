@@ -1,0 +1,143 @@
+package dyntree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+func drain(it *Iter) []tuple.Tuple {
+	var out []tuple.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, tuple.Clone(t))
+	}
+}
+
+func TestOrderCmp(t *testing.T) {
+	cmp := OrderCmp(tuple.Order{1, 0})
+	// Compares element 1 first.
+	if cmp(tuple.Tuple{9, 1}, tuple.Tuple{0, 2}) != -1 {
+		t.Error("order comparator ignored the order array")
+	}
+	if cmp(tuple.Tuple{1, 5}, tuple.Tuple{2, 5}) != -1 {
+		t.Error("tie-break on second order position failed")
+	}
+	if cmp(tuple.Tuple{1, 5}, tuple.Tuple{1, 5}) != 0 {
+		t.Error("equal tuples not equal")
+	}
+}
+
+func TestInsertContainsIterate(t *testing.T) {
+	order := tuple.Order{1, 0}
+	tr := New(OrderCmp(order))
+	rng := rand.New(rand.NewSource(11))
+	model := map[[2]value.Value]bool{}
+	for i := 0; i < 3000; i++ {
+		a, b := value.Value(rng.Intn(50)), value.Value(rng.Intn(50))
+		newT := tr.Insert(tuple.Tuple{a, b})
+		if newT == model[[2]value.Value{a, b}] {
+			t.Fatalf("newness mismatch for (%d,%d)", a, b)
+		}
+		model[[2]value.Value{a, b}] = true
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("size=%d model=%d", tr.Size(), len(model))
+	}
+	got := drain(tr.Iter())
+	if len(got) != len(model) {
+		t.Fatalf("enumerated %d", len(got))
+	}
+	// Sorted under the runtime order: by element 1, then element 0.
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a[1] > b[1] || (a[1] == b[1] && a[0] >= b[0]) {
+			t.Fatalf("out of order: %v then %v", a, b)
+		}
+	}
+}
+
+func TestRangePrefixOnOrderedColumn(t *testing.T) {
+	// Order (1,0): prefix search binds source column 1.
+	order := tuple.Order{1, 0}
+	tr := New(OrderCmp(order))
+	for a := value.Value(0); a < 20; a++ {
+		for b := value.Value(0); b < 5; b++ {
+			tr.Insert(tuple.Tuple{a, b})
+		}
+	}
+	// All tuples with source column 1 == 3.
+	lo := tuple.Tuple{0, 3}
+	hi := tuple.Tuple{^value.Value(0), 3}
+	got := drain(tr.Range(lo, hi))
+	if len(got) != 20 {
+		t.Fatalf("range: %d tuples, want 20", len(got))
+	}
+	for _, tp := range got {
+		if tp[1] != 3 {
+			t.Fatalf("tuple %v escapes the range", tp)
+		}
+	}
+}
+
+func TestInsertCopies(t *testing.T) {
+	tr := New(OrderCmp(tuple.Identity(2)))
+	buf := tuple.Tuple{1, 2}
+	tr.Insert(buf)
+	buf[0] = 99
+	if !tr.Contains(tuple.Tuple{1, 2}) {
+		t.Fatal("tree aliased the caller's buffer")
+	}
+	if tr.Contains(tuple.Tuple{99, 2}) {
+		t.Fatal("mutation leaked into the tree")
+	}
+}
+
+func TestClearSwap(t *testing.T) {
+	cmp := OrderCmp(tuple.Identity(1))
+	a, b := New(cmp), New(cmp)
+	a.Insert(tuple.Tuple{1})
+	b.Insert(tuple.Tuple{2})
+	b.Insert(tuple.Tuple{3})
+	a.Swap(b)
+	if a.Size() != 2 || b.Size() != 1 {
+		t.Fatalf("swap sizes: %d %d", a.Size(), b.Size())
+	}
+	a.Clear()
+	if a.Size() != 0 || a.Contains(tuple.Tuple{2}) {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestAgainstSortReference(t *testing.T) {
+	order := tuple.Order{2, 0, 1}
+	cmp := OrderCmp(order)
+	tr := New(cmp)
+	rng := rand.New(rand.NewSource(5))
+	var all []tuple.Tuple
+	seen := map[[3]value.Value]bool{}
+	for i := 0; i < 1000; i++ {
+		k := [3]value.Value{value.Value(rng.Intn(9)), value.Value(rng.Intn(9)), value.Value(rng.Intn(9))}
+		tr.Insert(k[:])
+		if !seen[k] {
+			seen[k] = true
+			all = append(all, tuple.Clone(k[:]))
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return cmp(all[i], all[j]) < 0 })
+	got := drain(tr.Iter())
+	if len(got) != len(all) {
+		t.Fatalf("%d vs %d", len(got), len(all))
+	}
+	for i := range all {
+		if tuple.Compare(got[i], all[i]) != 0 {
+			t.Fatalf("position %d: got %v want %v", i, got[i], all[i])
+		}
+	}
+}

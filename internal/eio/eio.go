@@ -1,0 +1,219 @@
+// Package eio implements the engine's I/O handlers: LOAD/STORE/PRINTSIZE
+// statements are routed through a Handler so programs can run against
+// in-memory facts (Mem) or Soufflé-style tab-separated fact files (Dir).
+package eio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/symtab"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// Handler connects LOAD/STORE/PRINTSIZE statements to the outside world.
+type Handler interface {
+	// Load feeds input tuples for rel to insert (source order).
+	Load(rel *ram.Relation, insert func(tuple.Tuple) error) error
+	// Store receives an iterator over rel's tuples in source order.
+	Store(rel *ram.Relation, it relation.Iterator) error
+	// PrintSize reports rel's cardinality.
+	PrintSize(rel *ram.Relation, size int) error
+}
+
+// Mem is an in-memory Handler: inputs come from Facts, outputs are
+// collected into Out. It is also the default handler (with no facts) when
+// none is configured.
+type Mem struct {
+	Facts map[string][]tuple.Tuple // by relation name, source order
+	Out   map[string][]tuple.Tuple
+	Sizes map[string]int
+}
+
+// NewMemIO returns an empty in-memory handler.
+func NewMem() *Mem {
+	return &Mem{
+		Facts: map[string][]tuple.Tuple{},
+		Out:   map[string][]tuple.Tuple{},
+		Sizes: map[string]int{},
+	}
+}
+
+// Add appends an input tuple for relation name.
+func (m *Mem) Add(name string, t tuple.Tuple) {
+	m.Facts[name] = append(m.Facts[name], tuple.Clone(t))
+}
+
+// Load implements Handler.
+func (m *Mem) Load(rel *ram.Relation, insert func(tuple.Tuple) error) error {
+	for _, t := range m.Facts[rel.Name] {
+		if len(t) != rel.Arity {
+			return fmt.Errorf("input tuple for %s has arity %d, want %d", rel.Name, len(t), rel.Arity)
+		}
+		if err := insert(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Store implements Handler.
+func (m *Mem) Store(rel *ram.Relation, it relation.Iterator) error {
+	var out []tuple.Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, tuple.Clone(t))
+	}
+	m.Out[rel.Name] = out
+	return nil
+}
+
+// PrintSize implements Handler.
+func (m *Mem) PrintSize(rel *ram.Relation, size int) error {
+	m.Sizes[rel.Name] = size
+	return nil
+}
+
+// Dir reads and writes tab-separated fact files <dir>/<relation>.facts
+// and <dir>/<relation>.csv, the Soufflé file convention. Symbols are
+// resolved through the engine's symbol table; PrintSize writes to W.
+type Dir struct {
+	InputDir  string
+	OutputDir string
+	Symbols   *symtab.Table
+	W         io.Writer
+}
+
+// Load implements Handler.
+func (d *Dir) Load(rel *ram.Relation, insert func(tuple.Tuple) error) error {
+	path := filepath.Join(d.InputDir, rel.Name+".facts")
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	t := make(tuple.Tuple, rel.Arity)
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) != rel.Arity {
+			return fmt.Errorf("%s:%d: %d fields, want %d", path, lineNo, len(fields), rel.Arity)
+		}
+		for i, field := range fields {
+			v, err := parseField(field, rel.Types[i], d.Symbols)
+			if err != nil {
+				return fmt.Errorf("%s:%d: %v", path, lineNo, err)
+			}
+			t[i] = v
+		}
+		if err := insert(t); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func parseField(s string, ty value.Type, st *symtab.Table) (value.Value, error) {
+	switch ty {
+	case value.Symbol:
+		return st.Intern(s), nil
+	case value.Number:
+		n, err := strconv.ParseInt(s, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		return value.FromInt(int32(n)), nil
+	case value.Unsigned:
+		n, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad unsigned %q", s)
+		}
+		return value.Value(n), nil
+	default:
+		f, err := strconv.ParseFloat(s, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad float %q", s)
+		}
+		return value.FromFloat(float32(f)), nil
+	}
+}
+
+// Store implements Handler.
+func (d *Dir) Store(rel *ram.Relation, it relation.Iterator) error {
+	if err := os.MkdirAll(d.OutputDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(d.OutputDir, rel.Name+".csv"))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		for i, v := range t {
+			if i > 0 {
+				if err := w.WriteByte('\t'); err != nil {
+					f.Close()
+					return err
+				}
+			}
+			if _, err := w.WriteString(formatField(v, rel.Types[i], d.Symbols)); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func formatField(v value.Value, ty value.Type, st *symtab.Table) string {
+	switch ty {
+	case value.Symbol:
+		return st.Resolve(v)
+	case value.Number:
+		return strconv.FormatInt(int64(value.AsInt(v)), 10)
+	case value.Unsigned:
+		return strconv.FormatUint(uint64(v), 10)
+	default:
+		return strconv.FormatFloat(float64(value.AsFloat(v)), 'g', -1, 32)
+	}
+}
+
+// PrintSize implements Handler.
+func (d *Dir) PrintSize(rel *ram.Relation, size int) error {
+	w := d.W
+	if w == nil {
+		w = os.Stdout
+	}
+	_, err := fmt.Fprintf(w, "%s\t%d\n", rel.Name, size)
+	return err
+}

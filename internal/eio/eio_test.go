@@ -1,0 +1,159 @@
+package eio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sti/internal/ram"
+	"sti/internal/symtab"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+func numRel(name string, arity int) *ram.Relation {
+	types := make([]value.Type, arity)
+	return &ram.Relation{Name: name, Arity: arity, Types: types}
+}
+
+func TestMemRoundTrip(t *testing.T) {
+	m := NewMem()
+	m.Add("r", tuple.Tuple{1, 2})
+	m.Add("r", tuple.Tuple{3, 4})
+	rel := numRel("r", 2)
+	var got []tuple.Tuple
+	err := m.Load(rel, func(tp tuple.Tuple) error {
+		got = append(got, tuple.Clone(tp))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][1] != 4 {
+		t.Fatalf("loaded %v", got)
+	}
+	// Store collects.
+	it := &sliceIter{ts: got}
+	if err := m.Store(rel, it); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Out["r"]) != 2 {
+		t.Fatalf("stored %v", m.Out["r"])
+	}
+	if err := m.PrintSize(rel, 7); err != nil || m.Sizes["r"] != 7 {
+		t.Fatal("printsize")
+	}
+}
+
+func TestMemArityMismatch(t *testing.T) {
+	m := NewMem()
+	m.Add("r", tuple.Tuple{1})
+	err := m.Load(numRel("r", 2), func(tuple.Tuple) error { return nil })
+	if err == nil {
+		t.Fatal("arity mismatch not reported")
+	}
+}
+
+type sliceIter struct {
+	ts []tuple.Tuple
+	i  int
+}
+
+func (s *sliceIter) Next() (tuple.Tuple, bool) {
+	if s.i >= len(s.ts) {
+		return nil, false
+	}
+	s.i++
+	return s.ts[s.i-1], true
+}
+
+func TestDirAllTypes(t *testing.T) {
+	dir := t.TempDir()
+	st := symtab.New()
+	rel := &ram.Relation{
+		Name:  "m",
+		Arity: 4,
+		Types: []value.Type{value.Number, value.Unsigned, value.Float, value.Symbol},
+	}
+	content := "-5\t4000000000\t2.5\thello world\n0\t0\t-1.25\t\n"
+	if err := os.WriteFile(filepath.Join(dir, "m.facts"), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := &Dir{InputDir: dir, OutputDir: dir, Symbols: st}
+	var rows []tuple.Tuple
+	if err := d.Load(rel, func(tp tuple.Tuple) error {
+		rows = append(rows, tuple.Clone(tp))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if value.AsInt(rows[0][0]) != -5 || rows[0][1] != 4000000000 ||
+		value.AsFloat(rows[0][2]) != 2.5 || st.Resolve(rows[0][3]) != "hello world" {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	if st.Resolve(rows[1][3]) != "" {
+		t.Fatal("empty symbol field not preserved")
+	}
+
+	// Write back and compare.
+	if err := d.Store(rel, &sliceIter{ts: rows}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "m.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "-5\t4000000000\t2.5\thello world") {
+		t.Fatalf("m.csv = %q", data)
+	}
+}
+
+func TestDirParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	st := symtab.New()
+	d := &Dir{InputDir: dir, OutputDir: dir, Symbols: st}
+	rel := &ram.Relation{Name: "r", Arity: 1, Types: []value.Type{value.Number}}
+	for name, content := range map[string]string{
+		"bad number": "abc\n",
+		"bad arity":  "1\t2\n",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, "r.facts"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Load(rel, func(tuple.Tuple) error { return nil }); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestDirPrintSizeWriter(t *testing.T) {
+	var sb strings.Builder
+	d := &Dir{W: &sb}
+	if err := d.PrintSize(numRel("big", 1), 42); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "big\t42\n" {
+		t.Fatalf("printsize output %q", sb.String())
+	}
+}
+
+func TestDirSkipsBlankLines(t *testing.T) {
+	dir := t.TempDir()
+	st := symtab.New()
+	if err := os.WriteFile(filepath.Join(dir, "r.facts"), []byte("1\n\n2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := &Dir{InputDir: dir, Symbols: st}
+	rel := &ram.Relation{Name: "r", Arity: 1, Types: []value.Type{value.Number}}
+	n := 0
+	if err := d.Load(rel, func(tuple.Tuple) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d rows", n)
+	}
+}

@@ -1,0 +1,184 @@
+// Package eqrel implements the equivalence-relation store, modelled on
+// Soufflé's union-find based binary relation (Nappa et al., PACT 2019;
+// paper §2). Inserting a pair (x, y) makes x and y equivalent; the relation
+// then *contains* every pair implied by reflexivity, symmetry, and
+// transitivity. A handful of explicit inserts can therefore represent a
+// quadratic number of tuples.
+//
+// Iteration order is lexicographic over the implied pair set, matching the
+// natural order contract of the other index structures. Read operations
+// (Contains, Class, iteration) do not mutate the structure, so they are
+// safe to run concurrently with each other; mutation requires external
+// synchronization, like the other stores.
+package eqrel
+
+import (
+	"sort"
+
+	"sti/internal/value"
+)
+
+// Rel is an equivalence relation over 32-bit values. The zero value is not
+// usable; call New.
+type Rel struct {
+	parent  map[value.Value]value.Value
+	rank    map[value.Value]int
+	members map[value.Value][]value.Value // root -> sorted class members
+	elems   []value.Value                 // all elements, sorted
+	size    int                           // implied pair count: sum over classes of |c|^2
+}
+
+// New returns an empty equivalence relation.
+func New() *Rel {
+	return &Rel{
+		parent:  make(map[value.Value]value.Value),
+		rank:    make(map[value.Value]int),
+		members: make(map[value.Value][]value.Value),
+	}
+}
+
+// Size reports the number of implied pairs.
+func (r *Rel) Size() int { return r.size }
+
+// Empty reports whether the relation holds no pairs.
+func (r *Rel) Empty() bool { return r.size == 0 }
+
+// Clear removes everything.
+func (r *Rel) Clear() { *r = *New() }
+
+// makeSet registers x if unseen and returns its root.
+func (r *Rel) makeSet(x value.Value) value.Value {
+	if _, ok := r.parent[x]; !ok {
+		r.parent[x] = x
+		r.rank[x] = 0
+		r.members[x] = []value.Value{x}
+		i := sort.Search(len(r.elems), func(i int) bool { return r.elems[i] >= x })
+		r.elems = append(r.elems, 0)
+		copy(r.elems[i+1:], r.elems[i:])
+		r.elems[i] = x
+		r.size++ // (x, x)
+		return x
+	}
+	return r.findCompress(x)
+}
+
+// findCompress returns x's root with path halving (mutating; used only on
+// the insert path).
+func (r *Rel) findCompress(x value.Value) value.Value {
+	for r.parent[x] != x {
+		r.parent[x] = r.parent[r.parent[x]]
+		x = r.parent[x]
+	}
+	return x
+}
+
+// find returns x's root without mutating (safe for concurrent readers).
+func (r *Rel) find(x value.Value) value.Value {
+	for r.parent[x] != x {
+		x = r.parent[x]
+	}
+	return x
+}
+
+// Insert makes x and y equivalent, reporting whether any new pair was added.
+func (r *Rel) Insert(x, y value.Value) bool {
+	before := len(r.parent)
+	rx := r.makeSet(x)
+	ry := r.makeSet(y)
+	added := len(r.parent) > before
+	if rx == ry {
+		return added
+	}
+	if r.rank[rx] < r.rank[ry] {
+		rx, ry = ry, rx
+	}
+	r.parent[ry] = rx
+	if r.rank[rx] == r.rank[ry] {
+		r.rank[rx]++
+	}
+	a, b := r.members[rx], r.members[ry]
+	r.members[rx] = mergeSorted(a, b)
+	delete(r.members, ry)
+	r.size += 2 * len(a) * len(b)
+	return true
+}
+
+// mergeSorted merges two sorted slices into a fresh sorted slice.
+func mergeSorted(a, b []value.Value) []value.Value {
+	out := make([]value.Value, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Contains reports whether the pair (x, y) is implied.
+func (r *Rel) Contains(x, y value.Value) bool {
+	if _, ok := r.parent[x]; !ok {
+		return false
+	}
+	if _, ok := r.parent[y]; !ok {
+		return false
+	}
+	return r.find(x) == r.find(y)
+}
+
+// Class returns the sorted members of x's class, or nil if x is unknown.
+func (r *Rel) Class(x value.Value) []value.Value {
+	if _, ok := r.parent[x]; !ok {
+		return nil
+	}
+	return r.members[r.find(x)]
+}
+
+// Iter enumerates all implied pairs in lexicographic order.
+func (r *Rel) Iter() *Iter {
+	return &Iter{rel: r, elems: r.elems}
+}
+
+// PrefixFirst enumerates, in order, all pairs whose first element is x.
+func (r *Rel) PrefixFirst(x value.Value) *Iter {
+	if _, ok := r.parent[x]; !ok {
+		return &Iter{}
+	}
+	return &Iter{rel: r, elems: []value.Value{x}}
+}
+
+// Iter enumerates implied pairs. The yielded slice is reused between calls.
+type Iter struct {
+	rel   *Rel
+	elems []value.Value // first components remaining (sorted)
+	class []value.Value // current class members (second components)
+	ei    int           // index into elems
+	ci    int           // index into class
+	first value.Value   // current first component
+	cur   [2]value.Value
+}
+
+// Next returns the next pair, or ok=false when exhausted.
+func (it *Iter) Next() ([]value.Value, bool) {
+	for {
+		if it.class != nil && it.ci < len(it.class) {
+			it.cur[0] = it.first
+			it.cur[1] = it.class[it.ci]
+			it.ci++
+			return it.cur[:], true
+		}
+		if it.ei >= len(it.elems) {
+			return nil, false
+		}
+		x := it.elems[it.ei]
+		it.ei++
+		it.first = x
+		it.class = it.rel.Class(x)
+		it.ci = 0
+	}
+}

@@ -1,0 +1,208 @@
+package eqrel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sti/internal/value"
+)
+
+func drain(it *Iter) [][2]value.Value {
+	var out [][2]value.Value
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, [2]value.Value{t[0], t[1]})
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	r := New()
+	if !r.Empty() || r.Size() != 0 {
+		t.Fatal("new relation not empty")
+	}
+	if r.Contains(1, 1) {
+		t.Error("empty relation contains (1,1)")
+	}
+	if got := drain(r.Iter()); len(got) != 0 {
+		t.Errorf("empty relation yielded %v", got)
+	}
+}
+
+func TestSelfPair(t *testing.T) {
+	r := New()
+	if !r.Insert(5, 5) {
+		t.Fatal("insert (5,5) not new")
+	}
+	if r.Size() != 1 {
+		t.Fatalf("size = %d, want 1 (reflexive pair)", r.Size())
+	}
+	if !r.Contains(5, 5) {
+		t.Fatal("missing reflexive pair")
+	}
+	if r.Insert(5, 5) {
+		t.Fatal("duplicate insert reported new")
+	}
+}
+
+func TestClosureSemantics(t *testing.T) {
+	r := New()
+	r.Insert(1, 2)
+	// {1,2}: pairs (1,1),(1,2),(2,1),(2,2)
+	if r.Size() != 4 {
+		t.Fatalf("size = %d, want 4", r.Size())
+	}
+	for _, p := range [][2]value.Value{{1, 1}, {1, 2}, {2, 1}, {2, 2}} {
+		if !r.Contains(p[0], p[1]) {
+			t.Fatalf("missing implied pair %v", p)
+		}
+	}
+	r.Insert(3, 4)
+	if r.Size() != 8 {
+		t.Fatalf("size = %d, want 8", r.Size())
+	}
+	if r.Contains(1, 3) {
+		t.Fatal("(1,3) should not be implied yet")
+	}
+	// Transitive merge: 2~3 merges both classes -> 4 elements -> 16 pairs.
+	r.Insert(2, 3)
+	if r.Size() != 16 {
+		t.Fatalf("size after merge = %d, want 16", r.Size())
+	}
+	if !r.Contains(1, 4) || !r.Contains(4, 1) {
+		t.Fatal("transitivity broken")
+	}
+}
+
+func TestIterationOrderAndCompleteness(t *testing.T) {
+	r := New()
+	r.Insert(3, 1)
+	r.Insert(7, 3)
+	r.Insert(10, 10)
+	// Classes: {1,3,7}, {10} -> 9 + 1 = 10 pairs.
+	got := drain(r.Iter())
+	if len(got) != 10 {
+		t.Fatalf("enumerated %d pairs, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		a, b := got[i-1], got[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Fatalf("out of order: %v then %v", a, b)
+		}
+	}
+	want := [2]value.Value{1, 1}
+	if got[0] != want {
+		t.Fatalf("first pair = %v, want %v", got[0], want)
+	}
+}
+
+func TestPrefixFirst(t *testing.T) {
+	r := New()
+	r.Insert(2, 5)
+	r.Insert(5, 9)
+	got := drain(r.PrefixFirst(5))
+	if len(got) != 3 {
+		t.Fatalf("PrefixFirst(5): %d pairs, want 3", len(got))
+	}
+	wantSeconds := []value.Value{2, 5, 9}
+	for i, p := range got {
+		if p[0] != 5 || p[1] != wantSeconds[i] {
+			t.Fatalf("pair %d = %v", i, p)
+		}
+	}
+	if got := drain(r.PrefixFirst(42)); len(got) != 0 {
+		t.Fatalf("unknown element yielded %v", got)
+	}
+}
+
+func TestClear(t *testing.T) {
+	r := New()
+	r.Insert(1, 2)
+	r.Clear()
+	if !r.Empty() || r.Contains(1, 2) {
+		t.Fatal("clear failed")
+	}
+	r.Insert(1, 2)
+	if r.Size() != 4 {
+		t.Fatalf("size after clear+insert = %d", r.Size())
+	}
+}
+
+func TestClassSorted(t *testing.T) {
+	r := New()
+	r.Insert(9, 1)
+	r.Insert(1, 5)
+	cls := r.Class(5)
+	want := []value.Value{1, 5, 9}
+	if len(cls) != 3 {
+		t.Fatalf("class = %v", cls)
+	}
+	for i := range want {
+		if cls[i] != want[i] {
+			t.Fatalf("class = %v, want %v", cls, want)
+		}
+	}
+	if r.Class(77) != nil {
+		t.Fatal("unknown element has a class")
+	}
+}
+
+// TestQuickSizeInvariant: Size always equals the sum of squared class sizes,
+// and equals the number of enumerated pairs.
+func TestQuickSizeInvariant(t *testing.T) {
+	f := func(raw []uint32) bool {
+		r := New()
+		for i := 0; i+1 < len(raw); i += 2 {
+			r.Insert(raw[i]%16, raw[i+1]%16)
+		}
+		return r.Size() == len(drain(r.Iter()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEquivalence: Contains agrees with a transitive-closure model.
+func TestQuickEquivalence(t *testing.T) {
+	f := func(raw []uint32) bool {
+		r := New()
+		// Model: naive union-find by maps.
+		rep := map[value.Value]value.Value{}
+		var find func(x value.Value) value.Value
+		find = func(x value.Value) value.Value {
+			if rep[x] == x {
+				return x
+			}
+			root := find(rep[x])
+			rep[x] = root
+			return root
+		}
+		for i := 0; i+1 < len(raw); i += 2 {
+			a, b := raw[i]%12, raw[i+1]%12
+			r.Insert(a, b)
+			if _, ok := rep[a]; !ok {
+				rep[a] = a
+			}
+			if _, ok := rep[b]; !ok {
+				rep[b] = b
+			}
+			rep[find(a)] = find(b)
+		}
+		for a := value.Value(0); a < 12; a++ {
+			for b := value.Value(0); b < 12; b++ {
+				_, aIn := rep[a]
+				_, bIn := rep[b]
+				want := aIn && bIn && find(a) == find(b)
+				if r.Contains(a, b) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

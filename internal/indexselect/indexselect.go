@@ -1,0 +1,222 @@
+// Package indexselect implements automatic index selection for primitive
+// searches (Subotić et al., PVLDB 2018 — the pre-runtime optimization the
+// paper's §2 relies on: "automatically computing indices for fast primitive
+// searches").
+//
+// Every primitive search on a relation is a *search signature*: the set of
+// bound columns. A lexicographic order serves a signature iff the bound
+// columns form a prefix of the order, so one order serves any chain of
+// signatures σ1 ⊂ σ2 ⊂ ... ⊂ σk. The minimum number of indexes for a
+// relation is therefore the minimum chain cover of the signature poset,
+// which by Dilworth/König equals |signatures| − |maximum bipartite
+// matching| on the strict-containment graph. We compute the matching with
+// Hopcroft–Karp and derive one order per chain.
+package indexselect
+
+import (
+	"math/bits"
+	"sort"
+
+	"sti/internal/tuple"
+)
+
+// Signature is a set of bound source columns, bit i = column i.
+type Signature uint32
+
+// Has reports whether column i is bound.
+func (s Signature) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Count is the number of bound columns.
+func (s Signature) Count() int { return bits.OnesCount32(uint32(s)) }
+
+// ContainsStrict reports whether s ⊂ t (strictly).
+func (s Signature) subsetOf(t Signature) bool {
+	return s != t && s&t == s
+}
+
+// Columns lists the bound columns in ascending order.
+func (s Signature) Columns() []int {
+	var cols []int
+	for i := 0; i < 32; i++ {
+		if s.Has(i) {
+			cols = append(cols, i)
+		}
+	}
+	return cols
+}
+
+// Of builds a signature from bound column positions.
+func Of(cols ...int) Signature {
+	var s Signature
+	for _, c := range cols {
+		s |= 1 << uint(c)
+	}
+	return s
+}
+
+// Placement locates a search on a selected index: which index serves it and
+// how long the bound prefix is.
+type Placement struct {
+	Index  int
+	Prefix int
+}
+
+// Result is the outcome of index selection for one relation.
+type Result struct {
+	Orders     []tuple.Order
+	Placements map[Signature]Placement
+}
+
+// Select computes a minimal set of lexicographic orders covering all search
+// signatures of a relation with the given arity, and the placement of each
+// signature. The zero (full-scan) signature is always served by index 0
+// with prefix 0. At least one order is always returned.
+func Select(arity int, searches []Signature) *Result {
+	// Deduplicate; drop the empty signature (any index serves it).
+	set := map[Signature]bool{}
+	for _, s := range searches {
+		if s != 0 {
+			set[s] = true
+		}
+	}
+	sigs := make([]Signature, 0, len(set))
+	for s := range set {
+		sigs = append(sigs, s)
+	}
+	// Deterministic processing order: by popcount, then value.
+	sort.Slice(sigs, func(i, j int) bool {
+		if c1, c2 := sigs[i].Count(), sigs[j].Count(); c1 != c2 {
+			return c1 < c2
+		}
+		return sigs[i] < sigs[j]
+	})
+
+	res := &Result{Placements: map[Signature]Placement{}}
+	if len(sigs) == 0 {
+		res.Orders = []tuple.Order{tuple.Identity(arity)}
+		res.Placements[0] = Placement{Index: 0, Prefix: 0}
+		return res
+	}
+
+	// Bipartite graph: left u — right v when sigs[u] ⊂ sigs[v].
+	n := len(sigs)
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if sigs[u].subsetOf(sigs[v]) {
+				adj[u] = append(adj[u], v)
+			}
+		}
+	}
+	matchL, matchR := hopcroftKarp(n, n, adj)
+
+	// Chains: start at left nodes that are not anyone's successor, follow
+	// the matching.
+	isSuccessor := make([]bool, n)
+	for u := 0; u < n; u++ {
+		if matchL[u] != -1 {
+			isSuccessor[matchL[u]] = true
+		}
+	}
+	for start := 0; start < n; start++ {
+		if isSuccessor[start] {
+			continue
+		}
+		chain := []int{start}
+		for u := start; matchL[u] != -1; u = matchL[u] {
+			chain = append(chain, matchL[u])
+		}
+		idx := len(res.Orders)
+		res.Orders = append(res.Orders, chainOrder(arity, sigs, chain))
+		for _, ci := range chain {
+			res.Placements[sigs[ci]] = Placement{Index: idx, Prefix: sigs[ci].Count()}
+		}
+	}
+	_ = matchR
+	res.Placements[0] = Placement{Index: 0, Prefix: 0}
+	return res
+}
+
+// chainOrder builds the lexicographic order serving a chain of signatures:
+// the columns of the smallest signature first (ascending), then each
+// successive difference, then any remaining columns.
+func chainOrder(arity int, sigs []Signature, chain []int) tuple.Order {
+	var order tuple.Order
+	var prev Signature
+	for _, ci := range chain {
+		for _, c := range (sigs[ci] &^ prev).Columns() {
+			order = append(order, c)
+		}
+		prev = sigs[ci]
+	}
+	for c := 0; c < arity; c++ {
+		if !prev.Has(c) {
+			order = append(order, c)
+		}
+	}
+	return order
+}
+
+// hopcroftKarp computes a maximum matching in a bipartite graph with nl
+// left and nr right vertices. Returns the match arrays (−1 = unmatched).
+func hopcroftKarp(nl, nr int, adj [][]int) (matchL, matchR []int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, nl)
+	matchR = make([]int, nr)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nl)
+
+	bfs := func() bool {
+		queue := make([]int, 0, nl)
+		for u := 0; u < nl; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < nl; u++ {
+			if matchL[u] == -1 {
+				dfs(u)
+			}
+		}
+	}
+	return matchL, matchR
+}

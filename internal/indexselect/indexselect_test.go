@@ -1,0 +1,233 @@
+package indexselect
+
+import (
+	"math/rand"
+	"testing"
+
+	"sti/internal/tuple"
+)
+
+// verify checks that every signature's placement is valid: the placed index
+// exists, its order is a permutation, and the signature's columns are
+// exactly the first Prefix columns of the order.
+func verify(t *testing.T, arity int, searches []Signature, res *Result) {
+	t.Helper()
+	if len(res.Orders) == 0 {
+		t.Fatal("no orders")
+	}
+	for _, o := range res.Orders {
+		if len(o) != arity || !o.Valid() {
+			t.Fatalf("invalid order %v for arity %d", o, arity)
+		}
+	}
+	for _, s := range searches {
+		pl, ok := res.Placements[s]
+		if !ok {
+			t.Fatalf("signature %b has no placement", s)
+		}
+		if pl.Index >= len(res.Orders) {
+			t.Fatalf("placement index %d out of range", pl.Index)
+		}
+		if pl.Prefix != s.Count() {
+			t.Fatalf("signature %b placed with prefix %d, want %d", s, pl.Prefix, s.Count())
+		}
+		order := res.Orders[pl.Index]
+		for i := 0; i < pl.Prefix; i++ {
+			if !s.Has(order[i]) {
+				t.Fatalf("signature %b not a prefix of order %v", s, order)
+			}
+		}
+	}
+}
+
+func TestSignatureHelpers(t *testing.T) {
+	s := Of(0, 2, 5)
+	if !s.Has(0) || s.Has(1) || !s.Has(2) || !s.Has(5) {
+		t.Fatal("Has wrong")
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	cols := s.Columns()
+	if len(cols) != 3 || cols[0] != 0 || cols[1] != 2 || cols[2] != 5 {
+		t.Fatalf("Columns = %v", cols)
+	}
+}
+
+func TestNoSearches(t *testing.T) {
+	res := Select(3, nil)
+	if len(res.Orders) != 1 || !res.Orders[0].IsIdentity() {
+		t.Fatalf("orders = %v", res.Orders)
+	}
+}
+
+func TestSingleSearch(t *testing.T) {
+	searches := []Signature{Of(1)}
+	res := Select(3, searches)
+	verify(t, 3, searches, res)
+	if len(res.Orders) != 1 {
+		t.Fatalf("orders = %v", res.Orders)
+	}
+	if res.Orders[0][0] != 1 {
+		t.Fatalf("order %v does not lead with column 1", res.Orders[0])
+	}
+}
+
+func TestChainCollapses(t *testing.T) {
+	// {0} ⊂ {0,1} ⊂ {0,1,2}: one index suffices.
+	searches := []Signature{Of(0), Of(0, 1), Of(0, 1, 2)}
+	res := Select(3, searches)
+	verify(t, 3, searches, res)
+	if len(res.Orders) != 1 {
+		t.Fatalf("chain needed %d orders: %v", len(res.Orders), res.Orders)
+	}
+}
+
+func TestAntichainNeedsTwo(t *testing.T) {
+	// {0} and {1} are incomparable: two indexes.
+	searches := []Signature{Of(0), Of(1)}
+	res := Select(2, searches)
+	verify(t, 2, searches, res)
+	if len(res.Orders) != 2 {
+		t.Fatalf("antichain got %d orders: %v", len(res.Orders), res.Orders)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// {0}, {1}, {0,1}: the chain {0}⊂{0,1} plus {1} alone = 2 indexes.
+	searches := []Signature{Of(0), Of(1), Of(0, 1)}
+	res := Select(2, searches)
+	verify(t, 2, searches, res)
+	if len(res.Orders) != 2 {
+		t.Fatalf("diamond got %d orders: %v", len(res.Orders), res.Orders)
+	}
+}
+
+func TestPaperStyleExample(t *testing.T) {
+	// Searches on a 4-ary relation: {0}, {0,1}, {2}, {2,3}, {0,1,2,3}.
+	// Chains: {0}⊂{0,1}⊂{0,1,2,3} and {2}⊂{2,3} -> 2 indexes.
+	searches := []Signature{Of(0), Of(0, 1), Of(2), Of(2, 3), Of(0, 1, 2, 3)}
+	res := Select(4, searches)
+	verify(t, 4, searches, res)
+	if len(res.Orders) != 2 {
+		t.Fatalf("got %d orders: %v", len(res.Orders), res.Orders)
+	}
+}
+
+func TestZeroSignaturePlacement(t *testing.T) {
+	res := Select(2, []Signature{0, Of(1)})
+	if pl := res.Placements[0]; pl.Index != 0 || pl.Prefix != 0 {
+		t.Fatalf("zero signature placed at %+v", pl)
+	}
+}
+
+// bruteMinChains computes the minimum chain cover size by brute force
+// (exponential; only for tiny inputs).
+func bruteMinChains(sigs []Signature) int {
+	n := len(sigs)
+	if n == 0 {
+		return 0
+	}
+	best := n
+	// Assign each signature to a chain id; try all assignments up to best.
+	assign := make([]int, n)
+	var rec func(i, used int)
+	valid := func(chain []Signature) bool {
+		// A set is a chain iff pairwise comparable.
+		for i := 0; i < len(chain); i++ {
+			for j := i + 1; j < len(chain); j++ {
+				a, b := chain[i], chain[j]
+				if !(a.subsetOf(b) || b.subsetOf(a) || a == b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec = func(i, used int) {
+		if used >= best {
+			return
+		}
+		if i == n {
+			chains := make([][]Signature, used)
+			for k, c := range assign[:n] {
+				chains[c] = append(chains[c], sigs[k])
+			}
+			for _, c := range chains {
+				if !valid(c) {
+					return
+				}
+			}
+			best = used
+			return
+		}
+		for c := 0; c <= used && c < best; c++ {
+			assign[i] = c
+			nu := used
+			if c == used {
+				nu++
+			}
+			rec(i+1, nu)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// TestMinimalityAgainstBruteForce: the matching-based cover is minimal for
+// random small signature sets.
+func TestMinimalityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		arity := 2 + rng.Intn(3) // 2..4
+		maxDistinct := 1<<uint(arity) - 1
+		nsig := 1 + rng.Intn(5)
+		if nsig > maxDistinct {
+			nsig = maxDistinct
+		}
+		seen := map[Signature]bool{}
+		var sigs []Signature
+		for len(sigs) < nsig {
+			s := Signature(rng.Intn(1<<uint(arity)-1) + 1)
+			if !seen[s] {
+				seen[s] = true
+				sigs = append(sigs, s)
+			}
+		}
+		res := Select(arity, sigs)
+		verify(t, arity, sigs, res)
+		want := bruteMinChains(sigs)
+		if len(res.Orders) != want {
+			t.Fatalf("trial %d: sigs %v got %d orders, brute force says %d",
+				trial, sigs, len(res.Orders), want)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	searches := []Signature{Of(0), Of(1), Of(0, 1), Of(2)}
+	first := Select(3, searches)
+	for i := 0; i < 10; i++ {
+		again := Select(3, searches)
+		if len(again.Orders) != len(first.Orders) {
+			t.Fatal("non-deterministic order count")
+		}
+		for j := range first.Orders {
+			if !ordersEqual(first.Orders[j], again.Orders[j]) {
+				t.Fatalf("non-deterministic orders: %v vs %v", first.Orders, again.Orders)
+			}
+		}
+	}
+}
+
+func ordersEqual(a, b tuple.Order) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,113 @@
+// Package interp implements the Soufflé Tree Interpreter (STI), the paper's
+// core contribution (§3): a recursive tree interpreter over RAM programs
+// that uses de-specialized relational data structures (internal/relation)
+// and four interpreter optimizations (§4):
+//
+//  1. static access and instruction generation — opcodes specialized per
+//     {structure × arity} bind the concrete B-tree type statically
+//     (specialized_gen.go, the Go analog of the paper's C++ macros);
+//  2. static tuple reordering — the interpreter tree is generated in encoded
+//     index coordinates so scans never decode tuples at runtime;
+//  3. lean dispatch — the hot recursive execute path avoids per-dispatch
+//     allocation and interface boxing (the Go analog of the paper's
+//     register-pressure trick, whose effect class is fixed per-dispatch
+//     overhead);
+//  4. super-instructions — constant and tuple-element sub-expressions of
+//     inserts, scans, and existence checks are folded into their parent
+//     instruction, eliminating their dispatches.
+//
+// Each optimization is independently switchable so the paper's ablation
+// experiments (Figs 18, 19 and §5.5) can be reproduced. The Legacy mode
+// reproduces the pre-STI interpreter (§5.1): relations stored in
+// runtime-comparator B-trees with no specialization at all.
+package interp
+
+// Config selects the interpreter variant.
+type Config struct {
+	// StaticDispatch enables the specialized instruction set (§4.1). When
+	// false, every relational operation goes through the dynamic Index
+	// adapter with buffered iterators (§3).
+	StaticDispatch bool
+	// SuperInstructions folds Constant/TupleElement children into parent
+	// instructions (§4.4).
+	SuperInstructions bool
+	// StaticReordering generates the interpreter tree in encoded index
+	// coordinates, eliminating runtime tuple reordering (§4.2).
+	StaticReordering bool
+	// LeanDispatch keeps the recursive dispatch path allocation-free (the
+	// §4.3 analog). When false, every dispatch round-trips its operands
+	// through heap-allocated boxes, modelling the fixed per-dispatch
+	// overhead the paper removes with its lambda trick.
+	LeanDispatch bool
+	// FusedFilters enables the "hand-crafted super-instructions" of the
+	// paper's §5.2 case study: a filter whose condition is a pure
+	// conjunction of constraints is compiled into a single closure at
+	// tree-generation time, so the whole condition costs one dispatch
+	// instead of one per sub-expression. Off by default — the paper
+	// treats this as a manual remedy, not a standard optimization.
+	FusedFilters bool
+	// Legacy switches relation storage to runtime-comparator B-trees (the
+	// legacy interpreter of §5.1). Implies dynamic dispatch and runtime
+	// reordering.
+	Legacy bool
+	// Profile enables the built-in profiler: per-rule wall time, dispatch
+	// counts, and iteration counts (§5.2). Profiling forces serial
+	// execution.
+	Profile bool
+	// Provenance records the first derivation of every tuple so that
+	// Engine.Explain can reconstruct proof trees — the debugging workflow
+	// that motivates interpreters in the paper's §1. Provenance implies the
+	// dynamic-adapter path, runtime reordering, and serial execution.
+	Provenance bool
+	// Workers sets the parallelism degree for the outermost scans of rule
+	// evaluations (paper §3: thread-local context copies per worker).
+	// Values below 2 mean serial execution.
+	Workers int
+}
+
+// DefaultConfig is the full STI: every optimization enabled.
+func DefaultConfig() Config {
+	return Config{
+		StaticDispatch:    true,
+		SuperInstructions: true,
+		StaticReordering:  true,
+		LeanDispatch:      true,
+	}
+}
+
+// DynamicAdapterConfig disables only static instruction generation — the
+// baseline of Fig 18.
+func DynamicAdapterConfig() Config {
+	c := DefaultConfig()
+	c.StaticDispatch = false
+	return c
+}
+
+// LegacyConfig reproduces the legacy interpreter of §5.1.
+func LegacyConfig() Config {
+	return Config{Legacy: true}
+}
+
+// normalize resolves implied settings.
+func (c Config) normalize() Config {
+	if c.Legacy {
+		c.StaticDispatch = false
+		c.StaticReordering = false
+		c.SuperInstructions = false
+	}
+	if c.Workers < 1 || c.Profile {
+		c.Workers = 1
+	}
+	if c.Workers > 1 {
+		// Fused filter closures keep per-closure scratch state and are not
+		// safe to share across workers.
+		c.FusedFilters = false
+	}
+	if c.Provenance {
+		c.StaticDispatch = false
+		c.StaticReordering = false
+		c.FusedFilters = false
+		c.Workers = 1
+	}
+	return c
+}

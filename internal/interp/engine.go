@@ -1,0 +1,139 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/rtl"
+	"sti/internal/symtab"
+	"sti/internal/tuple"
+)
+
+// Engine executes a RAM program with the Soufflé Tree Interpreter.
+type Engine struct {
+	prog *ram.Program
+	cfg  Config
+	st   *symtab.Table
+	rels []*relation.Relation // by RAM relation ID
+	root *inode
+	prof *profiler
+	prov *provenance
+}
+
+// New prepares an engine: it materializes the de-specialized relations and
+// generates the interpreter tree for the given configuration. Generation
+// cost is deliberately part of the measured interpreter runtime in the
+// benchmarks, as in the paper.
+func New(prog *ram.Program, st *symtab.Table, cfg Config) *Engine {
+	cfg = cfg.normalize()
+	e := &Engine{prog: prog, cfg: cfg, st: st}
+	for _, rd := range prog.Relations {
+		e.rels = append(e.rels, buildRelation(rd, cfg))
+	}
+	g := &generator{eng: e, cfg: cfg}
+	e.root = g.genStatement(prog.Main)
+	return e
+}
+
+func buildRelation(rd *ram.Relation, cfg Config) *relation.Relation {
+	rep := relation.BTree
+	switch rd.Rep {
+	case ram.RepBrie:
+		rep = relation.Brie
+	case ram.RepEqRel:
+		rep = relation.EqRel
+	}
+	if cfg.Legacy && rep != relation.EqRel {
+		rep = relation.Legacy
+	}
+	orders := rd.Orders
+	if len(orders) == 0 {
+		orders = []tuple.Order{tuple.Identity(rd.Arity)}
+	}
+	return relation.New(rd.Name, rep, rd.Arity, orders)
+}
+
+// RuntimeError reports an evaluation failure (division by zero, bad
+// to_number input, I/O failures). It aliases the shared runtime's error
+// type so all backends fail uniformly.
+type RuntimeError = rtl.Error
+
+// Run executes the program. io supplies inputs and receives outputs; nil
+// uses a fresh in-memory handler (no inputs).
+func (e *Engine) Run(io IOHandler) (err error) {
+	if io == nil {
+		io = NewMemIO()
+	}
+	if e.cfg.Profile {
+		e.prof = newProfiler(e.prog.NumRules)
+	}
+	if e.cfg.Provenance {
+		e.prov = newProvenance(len(e.prog.Relations))
+	}
+	ex := &executor{
+		eng:     e,
+		io:      io,
+		prof:    e.prof,
+		prov:    e.prov,
+		profile: e.cfg.Profile,
+		lean:    e.cfg.LeanDispatch,
+		workers: e.cfg.Workers,
+	}
+	if ex.workers > 1 {
+		ex.insMu = &sync.Mutex{}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RuntimeError); ok {
+				err = re
+				return
+			}
+			panic(r)
+		}
+	}()
+	ctx := &context{}
+	ex.eval(e.root, ctx)
+	return nil
+}
+
+// Profile returns the profiling report of the last Run (nil unless
+// Config.Profile was set).
+func (e *Engine) Profile() *Profile {
+	if e.prof == nil {
+		return nil
+	}
+	return e.prof.report()
+}
+
+// Relation returns the runtime relation by name, or nil.
+func (e *Engine) Relation(name string) *relation.Relation {
+	for i, rd := range e.prog.Relations {
+		if rd.Name == name {
+			return e.rels[i]
+		}
+	}
+	return nil
+}
+
+// Tuples returns all tuples of a relation in source order, for tests and
+// the public API.
+func (e *Engine) Tuples(name string) ([]tuple.Tuple, error) {
+	rel := e.Relation(name)
+	if rel == nil {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	var out []tuple.Tuple
+	it := rel.Scan()
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out, nil
+		}
+		out = append(out, tuple.Clone(t))
+	}
+}
+
+// SymbolTable exposes the engine's symbol table.
+func (e *Engine) SymbolTable() *symtab.Table { return e.st }

@@ -1,0 +1,493 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/rtl"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// executor holds the per-run state of the recursive tree walk.
+type executor struct {
+	eng     *Engine
+	io      IOHandler
+	prof    *profiler
+	cur     *RuleProfile // active rule's counters (profiling only)
+	prov    *provenance
+	curQ    *inode // active query (provenance only)
+	profile bool
+	lean    bool
+	workers int
+	// insMu serializes relation mutation when workers > 1 (our stores are
+	// not concurrent, unlike Soufflé's). nil in serial mode.
+	insMu *sync.Mutex
+}
+
+// lockInserts acquires the insert mutex in parallel mode.
+func (ex *executor) lockInserts() {
+	if ex.insMu != nil {
+		ex.insMu.Lock()
+	}
+}
+
+func (ex *executor) unlockInserts() {
+	if ex.insMu != nil {
+		ex.insMu.Unlock()
+	}
+}
+
+// eval is the dispatch entry point. With LeanDispatch off it models the
+// paper's §4.3 baseline: every dispatch pays a fixed extra cost comparable
+// to the callee-saved register spills and canary setup the paper removes
+// (here: eight dependent memory updates before the real dispatch).
+func (ex *executor) eval(n *inode, ctx *context) value.Value {
+	if ex.profile {
+		ex.prof.dispatches++
+		if ex.cur != nil {
+			ex.cur.Dispatches++
+		}
+	}
+	if !ex.lean {
+		spill(ctx)
+	}
+	return ex.execute(n, ctx)
+}
+
+// spill models the per-dispatch fixed overhead the paper's §4.3 trick
+// removes (callee-saved register saves plus stack-canary setup on every
+// recursive execute call): a non-inlinable call whose body performs the
+// equivalent register/stack traffic, against the worker-local context.
+//
+//go:noinline
+func spill(ctx *context) {
+	ctx.pad[0]++
+	ctx.pad[1]++
+	ctx.pad[2]++
+	ctx.pad[3]++
+	ctx.pad[4]++
+	ctx.pad[5]++
+	ctx.pad[6]++
+	ctx.pad[7]++
+}
+
+func (ex *executor) execute(n *inode, ctx *context) value.Value {
+	switch n.op {
+	// --- statements ---
+	case opSequence:
+		for _, st := range n.children {
+			ex.eval(st, ctx)
+			if ctx.exit {
+				break
+			}
+		}
+		return 0
+	case opLoop:
+		for {
+			ex.eval(n.nested, ctx)
+			if ctx.exit {
+				ctx.exit = false
+				return 0
+			}
+		}
+	case opExit:
+		if ex.eval(n.cond, ctx) != 0 {
+			ctx.exit = true
+		}
+		return 0
+	case opQuery:
+		qctx := newContext(n.widths)
+		if ex.prov != nil {
+			prevQ := ex.curQ
+			ex.curQ = n
+			defer func() { ex.curQ = prevQ }()
+		}
+		if ex.profile {
+			prev := ex.cur
+			ex.cur = &ex.prof.rules[n.ruleID]
+			ex.cur.RuleID = int(n.ruleID)
+			ex.cur.Label = n.label
+			start := time.Now()
+			ex.eval(n.nested, qctx)
+			ex.cur.Time += time.Since(start)
+			ex.cur = prev
+			return 0
+		}
+		ex.eval(n.nested, qctx)
+		return 0
+	case opClear:
+		n.rel.Clear()
+		return 0
+	case opSwap:
+		n.rel.SwapContents(n.rel2)
+		return 0
+	case opMerge:
+		it := n.rel2.Scan()
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0
+			}
+			n.rel.Insert(t)
+		}
+	case opIO:
+		ex.execIO(n)
+		return 0
+	case opLogTimer:
+		ex.eval(n.nested, ctx)
+		return 0
+
+	// --- operations (dynamic-adapter forms) ---
+	case opScan:
+		if n.par && ex.workers > 1 {
+			ex.parallelScan(n, ctx)
+			return 0
+		}
+		it := n.idx.Scan()
+		if n.decode {
+			it = relation.NewDecoder(it, n.order)
+		}
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0
+			}
+			ctx.tuples[n.tupleID] = t
+			ex.countIter()
+			ex.eval(n.nested, ctx)
+		}
+	case opIndexScan:
+		var pat [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		it := n.idx.PrefixScan(pat[:n.arity], int(n.prefix))
+		if n.decode {
+			it = relation.NewDecoder(it, n.order)
+		}
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0
+			}
+			ctx.tuples[n.tupleID] = t
+			ex.countIter()
+			ex.eval(n.nested, ctx)
+		}
+	case opChoice:
+		it := n.idx.Scan()
+		if n.decode {
+			it = relation.NewDecoder(it, n.order)
+		}
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0
+			}
+			ctx.tuples[n.tupleID] = t
+			ex.countIter()
+			if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
+				ex.eval(n.nested, ctx)
+				return 0
+			}
+		}
+	case opIndexChoice:
+		var pat [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		it := n.idx.PrefixScan(pat[:n.arity], int(n.prefix))
+		if n.decode {
+			it = relation.NewDecoder(it, n.order)
+		}
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0
+			}
+			ctx.tuples[n.tupleID] = t
+			ex.countIter()
+			if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
+				ex.eval(n.nested, ctx)
+				return 0
+			}
+		}
+	case opFilter:
+		if ex.eval(n.cond, ctx) != 0 {
+			ex.eval(n.nested, ctx)
+		}
+		return 0
+	case opFusedFilter:
+		if n.fused(ctx.tuples) {
+			ex.eval(n.nested, ctx)
+		}
+		return 0
+	case opInsert:
+		var t [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, t[:n.arity])
+		ex.lockInserts()
+		added := n.rel.Insert(t[:n.arity])
+		ex.unlockInserts()
+		if added {
+			ex.countInsert()
+			if ex.prov != nil {
+				ex.recordDerivation(n, t[:n.arity], ctx)
+			}
+		}
+		return 0
+	case opAggregate, opIndexAggregate:
+		ctx.tuples[n.tupleID] = ctx.base[n.tupleID]
+		var pat [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		it := n.idx.PrefixScan(pat[:n.arity], int(n.prefix))
+		if n.decode {
+			it = relation.NewDecoder(it, n.order)
+		}
+		var acc aggAcc
+		acc.Init(ram.AggKind(n.a), value.Type(n.b))
+		for {
+			t, ok := it.Next()
+			if !ok {
+				break
+			}
+			ctx.tuples[n.tupleID] = t
+			ex.countIter()
+			if n.cond != nil && ex.eval(n.cond, ctx) == 0 {
+				continue
+			}
+			var v value.Value
+			if n.target != nil {
+				v = ex.eval(n.target, ctx)
+			}
+			acc.Step(v)
+		}
+		if res, ok := acc.Finish(); ok {
+			ctx.tuples[n.tupleID] = tuple.Tuple{res}
+			ex.eval(n.nested, ctx)
+		}
+		return 0
+
+	// --- conditions ---
+	case opAnd:
+		if ex.eval(n.children[0], ctx) == 0 {
+			return 0
+		}
+		return ex.eval(n.children[1], ctx)
+	case opNot:
+		if ex.eval(n.cond, ctx) == 0 {
+			return 1
+		}
+		return 0
+	case opEmptiness:
+		if n.rel.Empty() {
+			return 1
+		}
+		return 0
+	case opExists:
+		var pat [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		if n.prefix == n.arity {
+			if n.idx.ContainsEncoded(pat[:n.arity]) {
+				return 1
+			}
+			return 0
+		}
+		if n.idx.AnyMatch(pat[:n.arity], int(n.prefix)) {
+			return 1
+		}
+		return 0
+	case opConstraint:
+		l := ex.eval(n.children[0], ctx)
+		r := ex.eval(n.children[1], ctx)
+		if compare(ram.CmpOp(n.a), value.Type(n.b), l, r) {
+			return 1
+		}
+		return 0
+
+	// --- expressions ---
+	case opConstant:
+		return n.val
+	case opTupleElement:
+		return ctx.tuples[n.a][n.b]
+	case opIntrinsic:
+		return ex.evalIntrinsic(n, ctx)
+	}
+
+	// Handwritten and generated specialized instructions.
+	if v, handled := ex.execNonGeneric(n, ctx); handled {
+		return v
+	}
+	if v, handled := ex.execSpecialized(n, ctx); handled {
+		return v
+	}
+	panic(fmt.Sprintf("interp: unknown opcode %d", n.op))
+}
+
+// parallelScan partitions a full scan across workers, each with its own
+// context copy (paper §3). Runtime errors from workers are re-raised after
+// all workers finish.
+func (ex *executor) parallelScan(n *inode, ctx *context) {
+	iters := n.idx.PartitionScan(ex.workers)
+	if len(iters) == 1 {
+		it := iters[0]
+		if n.decode {
+			it = relation.NewDecoder(it, n.order)
+		}
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return
+			}
+			ctx.tuples[n.tupleID] = t
+			ex.eval(n.nested, ctx)
+		}
+	}
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr *rtl.Error
+	for _, it := range iters {
+		wg.Add(1)
+		go func(it relation.Iterator) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if re, ok := r.(*rtl.Error); ok {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = re
+						}
+						errMu.Unlock()
+						return
+					}
+					panic(r)
+				}
+			}()
+			wctx := ctx.clone()
+			if n.decode {
+				it = relation.NewDecoder(it, n.order)
+			}
+			for {
+				t, ok := it.Next()
+				if !ok {
+					return
+				}
+				wctx.tuples[n.tupleID] = t
+				ex.eval(n.nested, wctx)
+			}
+		}(it)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		panic(firstErr)
+	}
+}
+
+func (ex *executor) countIter() {
+	if ex.profile && ex.cur != nil {
+		ex.cur.Iterations++
+	}
+}
+
+func (ex *executor) countInsert() {
+	if ex.profile && ex.cur != nil {
+		ex.cur.Inserts++
+	}
+}
+
+// fillTuple materializes a node's value children into dst (dst length
+// selects how many leading children are used: full arity for inserts, the
+// bound prefix for patterns). Super-instruction nodes read their constant
+// and tuple-element fields without dispatch (paper Fig 14).
+func (ex *executor) fillTuple(n *inode, ctx *context, dst []value.Value) {
+	if n.super {
+		for _, c := range n.constants {
+			dst[c.pos] = c.val
+		}
+		for _, t := range n.tupleElems {
+			dst[t.pos] = ctx.tuples[t.tid][t.elem]
+		}
+		for _, g := range n.generics {
+			dst[g.pos] = ex.eval(g.expr, ctx)
+		}
+		if ex.profile {
+			ex.prof.super += uint64(len(n.constants) + len(n.tupleElems))
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = ex.eval(n.children[i], ctx)
+	}
+}
+
+func (ex *executor) execIO(n *inode) {
+	switch ram.IOKind(n.a) {
+	case ram.IOLoad:
+		err := ex.io.Load(n.shadow.(*ram.IO).Rel, func(t tuple.Tuple) error {
+			n.rel.Insert(t)
+			return nil
+		})
+		if err != nil {
+			rtl.Fail("loading %s: %v", n.rel.Name, err)
+		}
+	case ram.IOStore:
+		if err := ex.io.Store(n.shadow.(*ram.IO).Rel, n.rel.Scan()); err != nil {
+			rtl.Fail("storing %s: %v", n.rel.Name, err)
+		}
+	default:
+		if err := ex.io.PrintSize(n.shadow.(*ram.IO).Rel, n.rel.Size()); err != nil {
+			rtl.Fail("printsize %s: %v", n.rel.Name, err)
+		}
+	}
+}
+
+// aggAcc aliases the shared accumulator.
+type aggAcc = rtl.AggAcc
+
+func boolVal(b bool) value.Value { return rtl.Bool(b) }
+
+func compare(op ram.CmpOp, typ value.Type, l, r value.Value) bool {
+	return rtl.Compare(op, typ, l, r)
+}
+
+func (ex *executor) evalIntrinsic(n *inode, ctx *context) value.Value {
+	op := ram.IntrinsicOp(n.a)
+	typ := value.Type(n.b)
+	st := ex.eng.st
+	switch op {
+	case ram.OpNeg:
+		return rtl.Neg(typ, ex.eval(n.children[0], ctx))
+	case ram.OpBNot:
+		return rtl.BNot(typ, ex.eval(n.children[0], ctx))
+	case ram.OpLNot:
+		return rtl.LNot(ex.eval(n.children[0], ctx))
+	case ram.OpCat:
+		args := make([]value.Value, len(n.children))
+		for i, ch := range n.children {
+			args[i] = ex.eval(ch, ctx)
+		}
+		return rtl.Cat(st, args...)
+	case ram.OpStrlen:
+		return rtl.Strlen(st, ex.eval(n.children[0], ctx))
+	case ram.OpSubstr:
+		return rtl.Substr(st,
+			ex.eval(n.children[0], ctx),
+			ex.eval(n.children[1], ctx),
+			ex.eval(n.children[2], ctx))
+	case ram.OpOrd:
+		return ex.eval(n.children[0], ctx)
+	case ram.OpToNumber:
+		return rtl.ToNumber(st, ex.eval(n.children[0], ctx))
+	case ram.OpToString:
+		return rtl.ToString(st, ex.eval(n.children[0], ctx))
+	case ram.OpMin, ram.OpMax:
+		acc := ex.eval(n.children[0], ctx)
+		for _, ch := range n.children[1:] {
+			acc = rtl.Arith(op, typ, acc, ex.eval(ch, ctx))
+		}
+		return acc
+	default:
+		l := ex.eval(n.children[0], ctx)
+		r := ex.eval(n.children[1], ctx)
+		return rtl.Arith(op, typ, l, r)
+	}
+}

@@ -1,0 +1,20 @@
+package interp
+
+import (
+	"sti/internal/eio"
+)
+
+// The interpreter shares its I/O layer with the other backends; these
+// aliases keep the package's public surface self-contained.
+
+// IOHandler connects LOAD/STORE/PRINTSIZE statements to the outside world.
+type IOHandler = eio.Handler
+
+// MemIO is the in-memory I/O handler.
+type MemIO = eio.Mem
+
+// NewMemIO returns an empty in-memory handler.
+func NewMemIO() *MemIO { return eio.NewMem() }
+
+// DirIO is the fact-file I/O handler (Soufflé's .facts/.csv convention).
+type DirIO = eio.Dir

@@ -1,0 +1,182 @@
+package interp
+
+import (
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// opcode identifies an interpreter instruction. Every INode carries one, so
+// the executor dispatches with a single switch (paper §3, Fig 5). The
+// specialized block (generated in specialized_gen.go) encodes the target
+// structure and arity in the opcode itself (paper §4.1): one opcode per
+// {instruction × structure × arity}.
+type opcode uint16
+
+const (
+	// statements
+	opSequence opcode = iota
+	opLoop
+	opExit
+	opQuery
+	opClear
+	opSwap
+	opMerge
+	opIO
+	opLogTimer
+
+	// operations (dynamic-adapter forms)
+	opScan
+	opIndexScan
+	opChoice
+	opIndexChoice
+	opFilter
+	opInsert // RAM Project
+	opAggregate
+	opIndexAggregate
+
+	// conditions
+	opAnd
+	opNot
+	opEmptiness
+	opExists
+	opConstraint
+
+	// expressions
+	opConstant
+	opTupleElement
+	opIntrinsic
+
+	// opFusedFilter is a filter whose condition was compiled to a single
+	// closure (hand-crafted super-instruction, §5.2).
+	opFusedFilter
+
+	// handwritten specialized forms for the non-generic structures
+	opInsertEq
+	opScanEq
+	opIndexScanEq
+	opExistsEq
+	opInsertBrie
+	opScanBrie
+	opIndexScanBrie
+	opExistsBrie
+
+	// opSpecializedBase starts the generated per-arity B-tree block; it
+	// must be the last opcode in this list.
+	opSpecializedBase
+)
+
+// Super-instruction payload entries (paper Figs 13-14): each names the
+// target slot in the tuple being built and where its value comes from.
+type constEntry struct {
+	pos int32
+	val value.Value
+}
+
+type tupleEntry struct {
+	pos, tid, elem int32
+}
+
+type genEntry struct {
+	pos  int32
+	expr *inode
+}
+
+// inode is an Interpreter Node: a lightweight instruction with execution
+// state and pre-computed values (paper §3, Fig 4). The shadow field is the
+// sPtr back to the source RAM node for static information.
+type inode struct {
+	op opcode
+
+	// relational operands
+	rel    *relation.Relation // target relation
+	rel2   *relation.Relation // second relation (swap, merge source)
+	idx    relation.Index     // chosen index (dynamic path)
+	impls  []any              // concrete stores for the static path
+	orders []tuple.Order      // per-impl index orders (inserts)
+	order  tuple.Order        // chosen index order (scans/exists)
+	decode bool               // wrap scans with a decoding iterator
+
+	tupleID int32
+	prefix  int32 // bound prefix length (encoded coordinates)
+	arity   int32
+	par     bool // partition this scan across workers
+
+	// tree structure
+	children []*inode // sub-expressions / statements / pattern (encoded order)
+	nested   *inode   // operation body
+	cond     *inode   // condition
+	target   *inode   // aggregate target expression
+
+	// super-instruction payload (pattern/tuple construction)
+	super      bool
+	constants  []constEntry
+	tupleElems []tupleEntry
+	generics   []genEntry
+
+	// fused is the hand-crafted super-instruction body of a fused filter
+	// (paper §5.2): the whole condition in one dispatch.
+	fused func([]tuple.Tuple) bool
+
+	// immediates
+	val    value.Value // constant
+	a, b   int32       // generic payload: (tid,elem), (op,type), (cmp,type), io kind
+	label  string
+	ruleID int32
+	widths []int32 // query: context tuple widths by tupleID
+	// provenance metadata: the insert target's base relation, the per-tid
+	// base relations of the query's scans (-1 = not a relation binding),
+	// and the query's positive fully-bound existence checks (whose matched
+	// tuples are premises even though they bind no tuple slot).
+	baseID     int32
+	premRels   []int32
+	premExists []*inode
+
+	shadow any // source RAM node (static info), the paper's sPtr
+}
+
+// context is the runtime environment of one query: the tuples currently
+// bound by enclosing scans (paper §3). Parallel workers get their own copy.
+type context struct {
+	tuples []tuple.Tuple
+	// base keeps the originally allocated full-width slot per tupleID;
+	// aggregates shrink tuples[tid] to their 1-wide result and must restore
+	// the full slot before re-iterating.
+	base []tuple.Tuple
+	exit bool // set by Exit, consumed by Loop
+	// pad receives the heavyweight-dispatch baseline's spill traffic; it
+	// lives in the per-worker context so parallel workers do not contend.
+	pad [8]uint64
+}
+
+// clone creates a fresh context with the same slot widths (the paper's
+// thread-local context copies for parallel workers).
+func (ctx *context) clone() *context {
+	widths := make([]int32, len(ctx.base))
+	for i, t := range ctx.base {
+		widths[i] = int32(len(t))
+	}
+	return newContext(widths)
+}
+
+func newContext(widths []int32) *context {
+	ctx := &context{
+		tuples: make([]tuple.Tuple, len(widths)),
+		base:   make([]tuple.Tuple, len(widths)),
+	}
+	for i, w := range widths {
+		ctx.tuples[i] = make(tuple.Tuple, w)
+		ctx.base[i] = ctx.tuples[i]
+	}
+	return ctx
+}
+
+// shadowRAM returns the RAM node behind n, for diagnostics.
+func (n *inode) shadowRAM() ram.Statement {
+	if s, ok := n.shadow.(ram.Statement); ok {
+		return s
+	}
+	return nil
+}
+

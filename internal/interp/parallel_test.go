@@ -1,0 +1,118 @@
+package interp
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// TestParallelMatchesSerial: the parallel interpreter computes exactly the
+// serial results over randomized graphs for a program with recursion,
+// negation, aggregates, and eqrel.
+func TestParallelMatchesSerial(t *testing.T) {
+	src := `
+.decl edge(x:number, y:number)
+.decl path(x:number, y:number)
+.decl node(x:number)
+.decl unreached(x:number)
+.decl deg(x:number, n:number)
+.decl eq(x:number, y:number) eqrel
+.input edge
+node(x) :- edge(x, _).
+node(y) :- edge(_, y).
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+unreached(x) :- node(x), !path(0, x).
+deg(x, n) :- node(x), n = count : { edge(x, _) }.
+eq(x, y) :- edge(x, y), x < y.
+`
+	rng := rand.New(rand.NewSource(123))
+	rels := []string{"path", "node", "unreached", "deg", "eq"}
+	for trial := 0; trial < 3; trial++ {
+		n := 30 + trial*20
+		facts := map[string][]tuple.Tuple{}
+		for i := 0; i < 4*n; i++ {
+			facts["edge"] = append(facts["edge"],
+				tuple.Tuple{value.Value(rng.Intn(n)), value.Value(rng.Intn(n))})
+		}
+		serial, _ := run(t, src, facts, DefaultConfig())
+		parCfg := DefaultConfig()
+		parCfg.Workers = runtime.NumCPU()
+		if parCfg.Workers < 2 {
+			parCfg.Workers = 2
+		}
+		parallel, _ := run(t, src, facts, parCfg)
+		for _, r := range rels {
+			a := tuplesOf(t, serial, r)
+			b := tuplesOf(t, parallel, r)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d relation %s: serial %d tuples, parallel %d", trial, r, len(a), len(b))
+			}
+			for i := range a {
+				if tuple.Compare(a[i], b[i]) != 0 {
+					t.Fatalf("trial %d relation %s differs at %d: %v vs %v", trial, r, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRuntimeError: worker panics surface as ordinary errors.
+func TestParallelRuntimeError(t *testing.T) {
+	src := `
+.decl n(x:number)
+.decl out(x:number)
+.input n
+out(y) :- n(x), y = 100 / x.
+`
+	rp, st := compileSrc(t, src)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	eng := New(rp, st, cfg)
+	io := NewMemIO()
+	for i := 0; i < 50; i++ {
+		io.Add("n", tuple.Tuple{value.Value(i)}) // includes 0
+	}
+	if err := eng.Run(io); err == nil {
+		t.Fatal("division by zero not reported from parallel workers")
+	}
+}
+
+// TestPartitionScanCoverage: partitions of a B-tree index cover every tuple
+// exactly once.
+func TestPartitionScanCoverage(t *testing.T) {
+	rp, st := compileSrc(t, tcSrc)
+	eng := New(rp, st, DefaultConfig())
+	io := NewMemIO()
+	const n = 5000
+	for i := 0; i < n; i++ {
+		io.Add("edge", tuple.Tuple{value.Value(i % 71), value.Value(i)})
+	}
+	if err := eng.Run(io); err != nil {
+		t.Fatal(err)
+	}
+	idx := eng.Relation("edge").Primary()
+	for _, parts := range [][]int{{2}, {4}, {7}} {
+		seen := map[[2]value.Value]bool{}
+		iters := idx.PartitionScan(parts[0])
+		for _, it := range iters {
+			for {
+				tp, ok := it.Next()
+				if !ok {
+					break
+				}
+				key := [2]value.Value{tp[0], tp[1]}
+				if seen[key] {
+					t.Fatalf("%d partitions: duplicate tuple %v", parts[0], tp)
+				}
+				seen[key] = true
+			}
+		}
+		if len(seen) != idx.Size() {
+			t.Fatalf("%d partitions covered %d of %d tuples", parts[0], len(seen), idx.Size())
+		}
+	}
+}

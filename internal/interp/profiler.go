@@ -1,0 +1,62 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RuleProfile is the profiler record for one rule version (the analog of
+// Soufflé's profiler output used in the paper's §5.2 case study).
+type RuleProfile struct {
+	RuleID     int
+	Label      string
+	Time       time.Duration
+	Iterations uint64 // tuples visited by this rule's scans
+	Dispatches uint64 // execute() calls made while running the rule
+	Inserts    uint64 // tuples newly inserted
+}
+
+// Profile is a completed profiling report.
+type Profile struct {
+	Rules           []RuleProfile
+	TotalDispatches uint64
+	// SuperSaved counts dispatches avoided by super-instructions (constant
+	// and tuple-element fields evaluated without dispatch, §5.4).
+	SuperSaved uint64
+}
+
+// String renders the profile sorted by descending time.
+func (p *Profile) String() string {
+	rules := append([]RuleProfile{}, p.Rules...)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Time > rules[j].Time })
+	var b strings.Builder
+	fmt.Fprintf(&b, "total dispatches: %d (super-instructions saved %d)\n", p.TotalDispatches, p.SuperSaved)
+	for _, r := range rules {
+		fmt.Fprintf(&b, "%12v %12d iter %12d disp %10d ins  %s\n",
+			r.Time.Round(time.Microsecond), r.Iterations, r.Dispatches, r.Inserts, r.Label)
+	}
+	return b.String()
+}
+
+// profiler accumulates per-rule counters during execution.
+type profiler struct {
+	rules      []RuleProfile
+	super      uint64
+	dispatches uint64
+}
+
+func newProfiler(numRules int) *profiler {
+	return &profiler{rules: make([]RuleProfile, numRules)}
+}
+
+func (p *profiler) report() *Profile {
+	out := &Profile{TotalDispatches: p.dispatches, SuperSaved: p.super}
+	for _, r := range p.rules {
+		if r.Time > 0 || r.Dispatches > 0 || r.Iterations > 0 {
+			out.Rules = append(out.Rules, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+func TestExplainTransitiveClosure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Provenance = true
+	eng, _ := run(t, tcSrc, chainFacts(4), cfg)
+
+	// path(0,4) derives through path(0,3), which derives through path(0,2)...
+	proof, err := eng.Explain("path", tuple.Tuple{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.Rule == "" {
+		t.Fatal("derived tuple explained as a fact")
+	}
+	if len(proof.Premises) != 2 {
+		t.Fatalf("premises = %d:\n%s", len(proof.Premises), proof)
+	}
+	// Depth: the proof chain must bottom out at edge facts.
+	depth := 0
+	var walk func(p *Proof, d int)
+	var leaves int
+	walk = func(p *Proof, d int) {
+		if d > depth {
+			depth = d
+		}
+		if len(p.Premises) == 0 {
+			if p.Rule != "" {
+				t.Fatalf("leaf with rule %q", p.Rule)
+			}
+			if p.Relation != "edge" {
+				t.Fatalf("leaf in relation %s", p.Relation)
+			}
+			leaves++
+		}
+		for _, prem := range p.Premises {
+			walk(prem, d+1)
+		}
+	}
+	walk(proof, 0)
+	if depth < 3 {
+		t.Fatalf("proof too shallow (%d):\n%s", depth, proof)
+	}
+	if leaves < 4 {
+		t.Fatalf("expected all four edges as leaves, saw %d:\n%s", leaves, proof)
+	}
+	if !strings.Contains(proof.String(), "[fact]") {
+		t.Fatalf("rendering lacks fact leaves:\n%s", proof)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Provenance = true
+	eng, _ := run(t, tcSrc, chainFacts(3), cfg)
+	if _, err := eng.Explain("path", tuple.Tuple{3, 0}); err == nil {
+		t.Fatal("underivable tuple explained")
+	}
+	if _, err := eng.Explain("nosuch", tuple.Tuple{1}); err == nil {
+		t.Fatal("unknown relation explained")
+	}
+	// Without provenance mode, Explain must refuse.
+	eng2, _ := run(t, tcSrc, chainFacts(3), DefaultConfig())
+	if _, err := eng2.Explain("path", tuple.Tuple{0, 1}); err == nil {
+		t.Fatal("Explain worked without provenance mode")
+	}
+}
+
+func TestExplainFactAndProgramFact(t *testing.T) {
+	src := `
+.decl seed(x:number)
+.decl out(x:number)
+seed(7).
+out(y) :- seed(x), y = x + 1.
+`
+	cfg := DefaultConfig()
+	cfg.Provenance = true
+	eng, _ := run(t, src, nil, cfg)
+	proof, err := eng.Explain("out", tuple.Tuple{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proof.Premises) != 1 || proof.Premises[0].Relation != "seed" {
+		t.Fatalf("premises:\n%s", proof)
+	}
+	// The program fact seed(7) has its own (empty-premise) derivation.
+	leaf := proof.Premises[0]
+	if value.AsInt(leaf.Tuple[0]) != 7 {
+		t.Fatalf("leaf tuple %v", leaf.Tuple)
+	}
+	if len(leaf.Premises) != 0 {
+		t.Fatalf("fact has premises:\n%s", proof)
+	}
+}
+
+func TestProvenanceMatchesPlainResults(t *testing.T) {
+	facts := chainFacts(12)
+	plain, _ := run(t, tcSrc, facts, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Provenance = true
+	prov, _ := run(t, tcSrc, facts, cfg)
+	a := tuplesOf(t, plain, "path")
+	b := tuplesOf(t, prov, "path")
+	if len(a) != len(b) {
+		t.Fatalf("provenance mode changed results: %d vs %d", len(a), len(b))
+	}
+	// Every derived tuple is explainable.
+	for _, tp := range b {
+		if _, err := prov.Explain("path", tp); err != nil {
+			t.Fatalf("cannot explain %v: %v", tp, err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package interp
+
+import (
+	"sti/internal/brie"
+	"sti/internal/btree"
+	"sti/internal/eqrel"
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// This file holds the bodies of the specialized instructions (paper §4.1,
+// Fig 11c): generic helpers instantiated per fixed-arity key type by the
+// generated dispatch in specialized_gen.go. Each helper type-asserts the
+// concrete structure once, then runs with stack-allocated fixed-size tuples,
+// concrete iterators, and no interface dispatch on the per-tuple path.
+
+type toKeyFn[K btree.Key[K]] func(tuple.Tuple) K
+
+type fromKeyFn[K btree.Key[K]] func(K, tuple.Tuple)
+
+// evalInsertBT inserts a freshly built source tuple into every B-tree index
+// of the relation.
+func evalInsertBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey toKeyFn[K], _ fromKeyFn[K]) value.Value {
+	var src, enc [relation.MaxArity]value.Value
+	ex.fillTuple(n, ctx, src[:n.arity])
+	added := false
+	ex.lockInserts()
+	for i, impl := range n.impls {
+		n.orders[i].Encode(enc[:n.arity], src[:n.arity])
+		if impl.(*btree.Tree[K]).Insert(toKey(enc[:n.arity])) && i == 0 {
+			added = true
+		}
+	}
+	ex.unlockInserts()
+	if added {
+		ex.countInsert()
+	}
+	return 0
+}
+
+// btRange prepares the concrete range iterator of a prefix search.
+func btRange[K btree.Key[K]](n *inode, pat []value.Value, toKey toKeyFn[K]) btree.Iter[K] {
+	tree := n.impls[0].(*btree.Tree[K])
+	if n.prefix == 0 {
+		return tree.Iter()
+	}
+	var lo, hi [relation.MaxArity]value.Value
+	copy(lo[:n.prefix], pat)
+	copy(hi[:n.prefix], pat)
+	for i := n.prefix; i < n.arity; i++ {
+		lo[i] = 0
+		hi[i] = ^value.Value(0)
+	}
+	return tree.Range(toKey(lo[:n.arity]), toKey(hi[:n.arity]))
+}
+
+func evalExistsBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey toKeyFn[K], _ fromKeyFn[K]) value.Value {
+	tree := n.impls[0].(*btree.Tree[K])
+	var pat [relation.MaxArity]value.Value
+	ex.fillTuple(n, ctx, pat[:n.prefix])
+	switch {
+	case n.prefix == n.arity:
+		return boolVal(tree.Contains(toKey(pat[:n.arity])))
+	case n.prefix == 0:
+		return boolVal(tree.Size() > 0)
+	default:
+		it := btRange[K](n, pat[:n.prefix], toKey)
+		_, ok := it.Next()
+		return boolVal(ok)
+	}
+}
+
+// bindKey writes key k into the context slot for n.tupleID, decoding to
+// source coordinates when static reordering is off.
+func bindKey[K btree.Key[K]](n *inode, ctx *context, k K, fromKey fromKeyFn[K]) {
+	slot := ctx.tuples[n.tupleID]
+	if n.decode {
+		var scratch [relation.MaxArity]value.Value
+		fromKey(k, scratch[:n.arity])
+		n.order.Decode(slot, scratch[:n.arity])
+		return
+	}
+	fromKey(k, slot)
+}
+
+func evalScanBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, _ toKeyFn[K], fromKey fromKeyFn[K]) value.Value {
+	it := n.impls[0].(*btree.Tree[K]).Iter()
+	for {
+		k, ok := it.Next()
+		if !ok {
+			return 0
+		}
+		bindKey(n, ctx, k, fromKey)
+		ex.countIter()
+		ex.eval(n.nested, ctx)
+	}
+}
+
+func evalIndexScanBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey toKeyFn[K], fromKey fromKeyFn[K]) value.Value {
+	var pat [relation.MaxArity]value.Value
+	ex.fillTuple(n, ctx, pat[:n.prefix])
+	it := btRange[K](n, pat[:n.prefix], toKey)
+	for {
+		k, ok := it.Next()
+		if !ok {
+			return 0
+		}
+		bindKey(n, ctx, k, fromKey)
+		ex.countIter()
+		ex.eval(n.nested, ctx)
+	}
+}
+
+func evalChoiceBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, _ toKeyFn[K], fromKey fromKeyFn[K]) value.Value {
+	it := n.impls[0].(*btree.Tree[K]).Iter()
+	for {
+		k, ok := it.Next()
+		if !ok {
+			return 0
+		}
+		bindKey(n, ctx, k, fromKey)
+		ex.countIter()
+		if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
+			ex.eval(n.nested, ctx)
+			return 0
+		}
+	}
+}
+
+func evalIndexChoiceBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey toKeyFn[K], fromKey fromKeyFn[K]) value.Value {
+	var pat [relation.MaxArity]value.Value
+	ex.fillTuple(n, ctx, pat[:n.prefix])
+	it := btRange[K](n, pat[:n.prefix], toKey)
+	for {
+		k, ok := it.Next()
+		if !ok {
+			return 0
+		}
+		bindKey(n, ctx, k, fromKey)
+		ex.countIter()
+		if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
+			ex.eval(n.nested, ctx)
+			return 0
+		}
+	}
+}
+
+func aggBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, it btree.Iter[K], fromKey fromKeyFn[K]) value.Value {
+	ctx.tuples[n.tupleID] = ctx.base[n.tupleID]
+	var acc aggAcc
+	acc.Init(ram.AggKind(n.a), value.Type(n.b))
+	for {
+		k, ok := it.Next()
+		if !ok {
+			break
+		}
+		bindKey(n, ctx, k, fromKey)
+		ex.countIter()
+		if n.cond != nil && ex.eval(n.cond, ctx) == 0 {
+			continue
+		}
+		var v value.Value
+		if n.target != nil {
+			v = ex.eval(n.target, ctx)
+		}
+		acc.Step(v)
+	}
+	if res, ok := acc.Finish(); ok {
+		ctx.tuples[n.tupleID] = tuple.Tuple{res}
+		ex.eval(n.nested, ctx)
+	}
+	return 0
+}
+
+func evalAggregateBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, _ toKeyFn[K], fromKey fromKeyFn[K]) value.Value {
+	return aggBT(ex, n, ctx, n.impls[0].(*btree.Tree[K]).Iter(), fromKey)
+}
+
+func evalIndexAggregateBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey toKeyFn[K], fromKey fromKeyFn[K]) value.Value {
+	var pat [relation.MaxArity]value.Value
+	ex.fillTuple(n, ctx, pat[:n.prefix])
+	return aggBT(ex, n, ctx, btRange[K](n, pat[:n.prefix], toKey), fromKey)
+}
+
+// execNonGeneric handles the handwritten specialized instructions for the
+// structures that are not arity-generic: the binary equivalence relation
+// and the dynamic-depth brie.
+func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
+	switch n.op {
+	case opInsertEq:
+		var t [2]value.Value
+		ex.fillTuple(n, ctx, t[:])
+		rel := n.impls[0].(*eqrel.Rel)
+		ex.lockInserts()
+		added := rel.Insert(t[0], t[1])
+		ex.unlockInserts()
+		if added {
+			ex.countInsert()
+		}
+		return 0, true
+	case opScanEq:
+		it := n.impls[0].(*eqrel.Rel).Iter()
+		slot := ctx.tuples[n.tupleID]
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0, true
+			}
+			copy(slot, t)
+			ex.countIter()
+			ex.eval(n.nested, ctx)
+		}
+	case opIndexScanEq:
+		rel := n.impls[0].(*eqrel.Rel)
+		var pat [2]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		slot := ctx.tuples[n.tupleID]
+		if n.prefix == 2 {
+			if rel.Contains(pat[0], pat[1]) {
+				copy(slot, pat[:])
+				ex.countIter()
+				ex.eval(n.nested, ctx)
+			}
+			return 0, true
+		}
+		it := rel.PrefixFirst(pat[0])
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0, true
+			}
+			copy(slot, t)
+			ex.countIter()
+			ex.eval(n.nested, ctx)
+		}
+	case opExistsEq:
+		rel := n.impls[0].(*eqrel.Rel)
+		var pat [2]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		switch n.prefix {
+		case 0:
+			return boolVal(rel.Size() > 0), true
+		case 1:
+			return boolVal(rel.Class(pat[0]) != nil), true
+		default:
+			return boolVal(rel.Contains(pat[0], pat[1])), true
+		}
+
+	case opInsertBrie:
+		var src, enc [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, src[:n.arity])
+		added := false
+		ex.lockInserts()
+		for i, impl := range n.impls {
+			n.orders[i].Encode(enc[:n.arity], src[:n.arity])
+			if impl.(*brie.Trie).Insert(enc[:n.arity]) && i == 0 {
+				added = true
+			}
+		}
+		ex.unlockInserts()
+		if added {
+			ex.countInsert()
+		}
+		return 0, true
+	case opScanBrie, opIndexScanBrie:
+		trie := n.impls[0].(*brie.Trie)
+		var pat [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		it := trie.Prefix(pat[:n.prefix])
+		slot := ctx.tuples[n.tupleID]
+		for {
+			t, ok := it.Next()
+			if !ok {
+				return 0, true
+			}
+			if n.decode {
+				n.order.Decode(slot, t)
+			} else {
+				copy(slot, t)
+			}
+			ex.countIter()
+			ex.eval(n.nested, ctx)
+		}
+	case opExistsBrie:
+		trie := n.impls[0].(*brie.Trie)
+		var pat [relation.MaxArity]value.Value
+		ex.fillTuple(n, ctx, pat[:n.prefix])
+		if n.prefix == n.arity {
+			return boolVal(trie.Contains(pat[:n.arity])), true
+		}
+		return boolVal(trie.HasPrefix(pat[:n.prefix])), true
+	}
+	return 0, false
+}

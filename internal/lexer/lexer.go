@@ -1,0 +1,397 @@
+// Package lexer tokenizes the Datalog source language.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sti/internal/ast"
+)
+
+// Kind classifies tokens.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Number    // signed integer literal
+	Unsigned  // integer literal with "u" suffix
+	Float     // float literal
+	String    // quoted string
+	Directive // .decl, .input, .output, .printsize (text carries the name)
+
+	LParen
+	RParen
+	LBrace
+	RBrace
+	Comma
+	Dot
+	ColonDash // :-
+	Colon
+	Semicolon
+	Bang
+	Underscore
+
+	Eq // =
+	Ne // !=
+	Lt // <
+	Le // <=
+	Gt // >
+	Ge // >=
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Caret
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", Ident: "identifier", Number: "number", Unsigned: "unsigned",
+	Float: "float", String: "string", Directive: "directive", LParen: "'('",
+	RParen: "')'", LBrace: "'{'", RBrace: "'}'", Comma: "','", Dot: "'.'",
+	ColonDash: "':-'", Colon: "':'", Semicolon: "';'", Bang: "'!'",
+	Underscore: "'_'", Eq: "'='", Ne: "'!='", Lt: "'<'", Le: "'<='",
+	Gt: "'>'", Ge: "'>='", Plus: "'+'", Minus: "'-'", Star: "'*'",
+	Slash: "'/'", Percent: "'%'", Caret: "'^'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Token is a lexeme with its position.
+type Token struct {
+	Kind Kind
+	Text string // identifier name, directive name, or literal text
+	Num  int64  // numeric value for Number/Unsigned
+	F    float32
+	Pos  ast.Pos
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Msg string
+	Pos ast.Pos
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// Lexer tokenizes a source string.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() ast.Pos { return ast.Pos{Line: l.line, Col: l.col} }
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for {
+				if l.off >= len(l.src) {
+					return &Error{Msg: "unterminated block comment", Pos: start}
+				}
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '.':
+		// Directive or plain dot: ".decl" vs clause-terminating ".".
+		if isIdentStart(l.peek2()) {
+			l.advance()
+			start := l.off
+			for l.off < len(l.src) && isIdentPart(l.peek()) {
+				l.advance()
+			}
+			name := l.src[start:l.off]
+			switch name {
+			case "decl", "input", "output", "printsize":
+				return Token{Kind: Directive, Text: name, Pos: pos}, nil
+			default:
+				return Token{}, &Error{Msg: fmt.Sprintf("unknown directive .%s", name), Pos: pos}
+			}
+		}
+		l.advance()
+		return Token{Kind: Dot, Pos: pos}, nil
+	case isDigit(c):
+		return l.number(pos)
+	case isIdentStart(c):
+		start := l.off
+		for l.off < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if text == "_" {
+			return Token{Kind: Underscore, Pos: pos}, nil
+		}
+		return Token{Kind: Ident, Text: text, Pos: pos}, nil
+	case c == '"':
+		return l.str(pos)
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: pos}, nil
+	case ':':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: ColonDash, Pos: pos}, nil
+		}
+		return Token{Kind: Colon, Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Ne, Pos: pos}, nil
+		}
+		return Token{Kind: Bang, Pos: pos}, nil
+	case '=':
+		return Token{Kind: Eq, Pos: pos}, nil
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Le, Pos: pos}, nil
+		}
+		return Token{Kind: Lt, Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Ge, Pos: pos}, nil
+		}
+		return Token{Kind: Gt, Pos: pos}, nil
+	case '+':
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Percent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: Caret, Pos: pos}, nil
+	}
+	return Token{}, &Error{Msg: fmt.Sprintf("unexpected character %q", c), Pos: pos}
+}
+
+func (l *Lexer) number(pos ast.Pos) (Token, error) {
+	start := l.off
+	// Hex and binary literals.
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'b') {
+		base := 16
+		if l.peek2() == 'b' {
+			base = 2
+		}
+		l.advance()
+		l.advance()
+		digStart := l.off
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+		text := l.src[digStart:l.off]
+		v, err := strconv.ParseUint(text, base, 32)
+		if err != nil {
+			return Token{}, &Error{Msg: fmt.Sprintf("bad numeric literal %q: %v", l.src[start:l.off], err), Pos: pos}
+		}
+		if l.peek() == 'u' {
+			l.advance()
+			return Token{Kind: Unsigned, Num: int64(v), Pos: pos}, nil
+		}
+		return Token{Kind: Number, Num: int64(v), Pos: pos}, nil
+	}
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.advance()
+	}
+	isFloat := false
+	if l.peek() == '.' && isDigit(l.peek2()) {
+		isFloat = true
+		l.advance()
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+	}
+	if l.peek() == 'e' || l.peek() == 'E' {
+		save, saveLine, saveCol := l.off, l.line, l.col
+		l.advance()
+		if l.peek() == '+' || l.peek() == '-' {
+			l.advance()
+		}
+		if isDigit(l.peek()) {
+			isFloat = true
+			for l.off < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		} else {
+			l.off, l.line, l.col = save, saveLine, saveCol
+		}
+	}
+	text := l.src[start:l.off]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 32)
+		if err != nil {
+			return Token{}, &Error{Msg: fmt.Sprintf("bad float literal %q: %v", text, err), Pos: pos}
+		}
+		return Token{Kind: Float, F: float32(f), Pos: pos}, nil
+	}
+	if l.peek() == 'u' {
+		l.advance()
+		v, err := strconv.ParseUint(text, 10, 32)
+		if err != nil {
+			return Token{}, &Error{Msg: fmt.Sprintf("unsigned literal %q out of range", text), Pos: pos}
+		}
+		return Token{Kind: Unsigned, Num: int64(v), Pos: pos}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil || v > 1<<32-1 {
+		return Token{}, &Error{Msg: fmt.Sprintf("number literal %q out of range", text), Pos: pos}
+	}
+	return Token{Kind: Number, Num: v, Pos: pos}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+func (l *Lexer) str(pos ast.Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.off >= len(l.src) || l.peek() == '\n' {
+			return Token{}, &Error{Msg: "unterminated string literal", Pos: pos}
+		}
+		c := l.advance()
+		switch c {
+		case '"':
+			return Token{Kind: String, Text: b.String(), Pos: pos}, nil
+		case '\\':
+			if l.off >= len(l.src) {
+				return Token{}, &Error{Msg: "unterminated string literal", Pos: pos}
+			}
+			e := l.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return Token{}, &Error{Msg: fmt.Sprintf("unknown escape \\%c", e), Pos: pos}
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// All tokenizes the whole input, for tests and tools.
+func All(src string) ([]Token, error) {
+	l := New(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}

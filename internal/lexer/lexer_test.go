@@ -1,0 +1,179 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := All(src)
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	ks := make([]Kind, len(toks))
+	for i, tok := range toks {
+		ks[i] = tok.Kind
+	}
+	return ks
+}
+
+func eq(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBasicTokens(t *testing.T) {
+	got := kinds(t, `edge(x, y) :- node(x).`)
+	want := []Kind{Ident, LParen, Ident, Comma, Ident, RParen, ColonDash, Ident, LParen, Ident, RParen, Dot, EOF}
+	if !eq(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	toks, err := All(".decl r(x:number)\n.input r\n.output r\n.printsize r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, tok := range toks {
+		if tok.Kind == Directive {
+			names = append(names, tok.Text)
+		}
+	}
+	if strings.Join(names, ",") != "decl,input,output,printsize" {
+		t.Fatalf("directives = %v", names)
+	}
+}
+
+func TestUnknownDirective(t *testing.T) {
+	if _, err := All(".bogus r"); err == nil {
+		t.Fatal("unknown directive accepted")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := All("42 0x1F 0b101 7u 3.5 1e3 2.5e-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Number || toks[0].Num != 42 {
+		t.Errorf("42: %+v", toks[0])
+	}
+	if toks[1].Kind != Number || toks[1].Num != 31 {
+		t.Errorf("0x1F: %+v", toks[1])
+	}
+	if toks[2].Kind != Number || toks[2].Num != 5 {
+		t.Errorf("0b101: %+v", toks[2])
+	}
+	if toks[3].Kind != Unsigned || toks[3].Num != 7 {
+		t.Errorf("7u: %+v", toks[3])
+	}
+	if toks[4].Kind != Float || toks[4].F != 3.5 {
+		t.Errorf("3.5: %+v", toks[4])
+	}
+	if toks[5].Kind != Float || toks[5].F != 1000 {
+		t.Errorf("1e3: %+v", toks[5])
+	}
+	if toks[6].Kind != Float || toks[6].F != 0.025 {
+		t.Errorf("2.5e-2: %+v", toks[6])
+	}
+}
+
+func TestNumberFollowedByDot(t *testing.T) {
+	// "f(1)." must not lex 1. as a float.
+	got := kinds(t, "f(1).")
+	want := []Kind{Ident, LParen, Number, RParen, Dot, EOF}
+	if !eq(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := All(`"hello" "a\nb" "q\"q" "back\\slash" ""`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"hello", "a\nb", `q"q`, `back\slash`, ""}
+	for i, w := range want {
+		if toks[i].Kind != String || toks[i].Text != w {
+			t.Errorf("string %d = %q (kind %v), want %q", i, toks[i].Text, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad\qescape"`, "\"newline\nin\""} {
+		if _, err := All(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	got := kinds(t, "a // line comment\n/* block\ncomment */ b")
+	want := []Kind{Ident, Ident, EOF}
+	if !eq(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	if _, err := All("/* unterminated"); err == nil {
+		t.Fatal("unterminated block comment accepted")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "= != < <= > >= + - * / % ^ ! : ; { }")
+	want := []Kind{Eq, Ne, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash, Percent, Caret, Bang, Colon, Semicolon, LBrace, RBrace, EOF}
+	if !eq(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestUnderscoreVsIdent(t *testing.T) {
+	toks, err := All("_ _x x_")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Underscore {
+		t.Errorf("_ lexed as %v", toks[0].Kind)
+	}
+	if toks[1].Kind != Ident || toks[1].Text != "_x" {
+		t.Errorf("_x lexed as %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if toks[2].Kind != Ident || toks[2].Text != "x_" {
+		t.Errorf("x_ lexed as %v", toks[2].Kind)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := All("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %+v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %+v", toks[1].Pos)
+	}
+}
+
+func TestNumberOutOfRange(t *testing.T) {
+	if _, err := All("99999999999999999999"); err == nil {
+		t.Fatal("huge number accepted")
+	}
+}
+
+func TestUnexpectedChar(t *testing.T) {
+	if _, err := All("@"); err == nil {
+		t.Fatal("@ accepted")
+	}
+}

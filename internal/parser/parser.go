@@ -1,0 +1,564 @@
+// Package parser builds the AST from source text with a hand-written
+// recursive-descent parser (one-token lookahead, precedence climbing for
+// expressions).
+package parser
+
+import (
+	"fmt"
+
+	"sti/internal/ast"
+	"sti/internal/lexer"
+	"sti/internal/value"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Msg string
+	Pos ast.Pos
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Pos.Line, e.Pos.Col, e.Msg)
+}
+
+// Parse parses a complete program.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	prog := &ast.Program{}
+	for p.cur.Kind != lexer.EOF {
+		switch {
+		case p.cur.Kind == lexer.Directive && p.cur.Text == "decl":
+			d, err := p.decl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Decls = append(prog.Decls, d)
+		case p.cur.Kind == lexer.Directive:
+			d, err := p.directive()
+			if err != nil {
+				return nil, err
+			}
+			prog.Directives = append(prog.Directives, d)
+		default:
+			cs, err := p.clause()
+			if err != nil {
+				return nil, err
+			}
+			prog.Clauses = append(prog.Clauses, cs...)
+		}
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	cur  lexer.Token
+	peek lexer.Token
+}
+
+func (p *parser) next() error {
+	p.cur = p.peek
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.peek = t
+	return nil
+}
+
+func (p *parser) errf(pos ast.Pos, format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Pos: pos}
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if p.cur.Kind != k {
+		return lexer.Token{}, p.errf(p.cur.Pos, "expected %v, found %v", k, p.describe(p.cur))
+	}
+	t := p.cur
+	if err := p.next(); err != nil {
+		return lexer.Token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) describe(t lexer.Token) string {
+	if t.Kind == lexer.Ident {
+		return fmt.Sprintf("identifier %q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// decl := .decl NAME ( attr, ... ) [btree|brie|eqrel]
+func (p *parser) decl() (*ast.RelationDecl, error) {
+	pos := p.cur.Pos
+	if err := p.next(); err != nil { // consume .decl
+		return nil, err
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	d := &ast.RelationDecl{Name: name.Text, Pos: pos}
+	if p.cur.Kind != lexer.RParen {
+		for {
+			attr, err := p.attr()
+			if err != nil {
+				return nil, err
+			}
+			d.Attrs = append(d.Attrs, attr)
+			if p.cur.Kind != lexer.Comma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	// A representation qualifier, if present, directly follows the closing
+	// parenthesis. Any other identifier starts the next item.
+	if p.cur.Kind == lexer.Ident {
+		switch p.cur.Text {
+		case "btree", "brie", "eqrel":
+			switch p.cur.Text {
+			case "btree":
+				d.Rep = ast.RepBTree
+			case "brie":
+				d.Rep = ast.RepBrie
+			case "eqrel":
+				d.Rep = ast.RepEqRel
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) attr() (ast.Attr, error) {
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return ast.Attr{}, err
+	}
+	if _, err := p.expect(lexer.Colon); err != nil {
+		return ast.Attr{}, err
+	}
+	tname, err := p.expect(lexer.Ident)
+	if err != nil {
+		return ast.Attr{}, err
+	}
+	var ty value.Type
+	switch tname.Text {
+	case "number":
+		ty = value.Number
+	case "unsigned":
+		ty = value.Unsigned
+	case "float":
+		ty = value.Float
+	case "symbol":
+		ty = value.Symbol
+	default:
+		return ast.Attr{}, p.errf(tname.Pos, "unknown type %q (want number, unsigned, float, or symbol)", tname.Text)
+	}
+	return ast.Attr{Name: name.Text, Type: ty}, nil
+}
+
+func (p *parser) directive() (*ast.Directive, error) {
+	pos := p.cur.Pos
+	var kind ast.DirectiveKind
+	switch p.cur.Text {
+	case "input":
+		kind = ast.DirInput
+	case "output":
+		kind = ast.DirOutput
+	case "printsize":
+		kind = ast.DirPrintSize
+	default:
+		return nil, p.errf(pos, "unknown directive .%s", p.cur.Text)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Directive{Kind: kind, Rel: name.Text, Pos: pos}, nil
+}
+
+// clause := atom [ :- body (";" body)* ] "."
+// Disjunctive bodies expand to one clause per disjunct.
+func (p *parser) clause() ([]*ast.Clause, error) {
+	pos := p.cur.Pos
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.Kind == lexer.Dot {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return []*ast.Clause{{Head: head, Pos: pos}}, nil
+	}
+	if _, err := p.expect(lexer.ColonDash); err != nil {
+		return nil, err
+	}
+	var clauses []*ast.Clause
+	for {
+		body, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		clauses = append(clauses, &ast.Clause{Head: head, Body: body, Pos: pos})
+		if p.cur.Kind != lexer.Semicolon {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(lexer.Dot); err != nil {
+		return nil, err
+	}
+	return clauses, nil
+}
+
+func (p *parser) conjunction() ([]ast.Literal, error) {
+	var body []ast.Literal
+	for {
+		lit, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, lit)
+		if p.cur.Kind != lexer.Comma {
+			return body, nil
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) literal() (ast.Literal, error) {
+	if p.cur.Kind == lexer.Bang {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		a, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Negation{Atom: a}, nil
+	}
+	pos := p.cur.Pos
+	// Parse an expression; a following comparison operator makes this a
+	// constraint, otherwise it must have the shape of an atom.
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOf(p.cur.Kind); ok {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Constraint{Op: op, L: l, R: r, Pos: pos}, nil
+	}
+	if call, ok := l.(*ast.Call); ok {
+		return &ast.Atom{Name: call.Name, Args: call.Args, Pos: call.Pos}, nil
+	}
+	return nil, p.errf(pos, "expected a literal (atom, negation, or constraint)")
+}
+
+func cmpOf(k lexer.Kind) (ast.CmpOp, bool) {
+	switch k {
+	case lexer.Eq:
+		return ast.CmpEQ, true
+	case lexer.Ne:
+		return ast.CmpNE, true
+	case lexer.Lt:
+		return ast.CmpLT, true
+	case lexer.Le:
+		return ast.CmpLE, true
+	case lexer.Gt:
+		return ast.CmpGT, true
+	case lexer.Ge:
+		return ast.CmpGE, true
+	}
+	return 0, false
+}
+
+func (p *parser) atom() (*ast.Atom, error) {
+	name, err := p.expect(lexer.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	a := &ast.Atom{Name: name.Text, Pos: name.Pos}
+	if p.cur.Kind != lexer.RParen {
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			a.Args = append(a.Args, e)
+			if p.cur.Kind != lexer.Comma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Binary operator precedence (higher binds tighter). Keyword operators are
+// identifiers in the token stream.
+func (p *parser) binOp() (ast.BinOp, int, bool) {
+	switch p.cur.Kind {
+	case lexer.Plus:
+		return ast.OpAdd, 6, true
+	case lexer.Minus:
+		return ast.OpSub, 6, true
+	case lexer.Star:
+		return ast.OpMul, 7, true
+	case lexer.Slash:
+		return ast.OpDiv, 7, true
+	case lexer.Percent:
+		return ast.OpMod, 7, true
+	case lexer.Caret:
+		return ast.OpPow, 8, true
+	case lexer.Ident:
+		switch p.cur.Text {
+		case "lor":
+			return ast.OpLOr, 1, true
+		case "land":
+			return ast.OpLAnd, 2, true
+		case "bor":
+			return ast.OpBOr, 3, true
+		case "bxor":
+			return ast.OpBXor, 4, true
+		case "band":
+			return ast.OpBAnd, 5, true
+		case "bshl":
+			return ast.OpBShl, 6, true
+		case "bshr":
+			return ast.OpBShr, 6, true
+		}
+	}
+	return 0, 0, false
+}
+
+func (p *parser) expr() (ast.Expr, error) { return p.binary(1) }
+
+func (p *parser) binary(minPrec int) (ast.Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, prec, ok := p.binOp()
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		pos := p.cur.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		// Power is right-associative; everything else left.
+		nextMin := prec + 1
+		if op == ast.OpPow {
+			nextMin = prec
+		}
+		r, err := p.binary(nextMin)
+		if err != nil {
+			return nil, err
+		}
+		l = &ast.BinExpr{Op: op, L: l, R: r, Pos: pos}
+	}
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	pos := p.cur.Pos
+	switch {
+	case p.cur.Kind == lexer.Minus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of literals so "-1" is a literal, not an operation.
+		if n, ok := e.(*ast.NumLit); ok {
+			return &ast.NumLit{Val: -n.Val, Pos: pos}, nil
+		}
+		if f, ok := e.(*ast.FloatLit); ok {
+			return &ast.FloatLit{Val: -f.Val, Pos: pos}, nil
+		}
+		return &ast.UnExpr{Op: ast.OpNeg, E: e, Pos: pos}, nil
+	case p.cur.Kind == lexer.Ident && (p.cur.Text == "bnot" || p.cur.Text == "lnot"):
+		op := ast.OpBNot
+		if p.cur.Text == "lnot" {
+			op = ast.OpLNot
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnExpr{Op: op, E: e, Pos: pos}, nil
+	}
+	return p.primary()
+}
+
+// aggKind recognizes aggregate keywords.
+func aggKind(name string) (ast.AggKind, bool) {
+	switch name {
+	case "count":
+		return ast.AggCount, true
+	case "sum":
+		return ast.AggSum, true
+	case "min":
+		return ast.AggMin, true
+	case "max":
+		return ast.AggMax, true
+	}
+	return 0, false
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	pos := p.cur.Pos
+	switch p.cur.Kind {
+	case lexer.Number:
+		v := p.cur.Num
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &ast.NumLit{Val: int32(v), Pos: pos}, nil
+	case lexer.Unsigned:
+		v := p.cur.Num
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &ast.UnsignedLit{Val: uint32(v), Pos: pos}, nil
+	case lexer.Float:
+		f := p.cur.F
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &ast.FloatLit{Val: f, Pos: pos}, nil
+	case lexer.String:
+		s := p.cur.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &ast.StrLit{Val: s, Pos: pos}, nil
+	case lexer.Underscore:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		return &ast.Wildcard{Pos: pos}, nil
+	case lexer.LParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case lexer.Ident:
+		name := p.cur.Text
+		if kind, isAgg := aggKind(name); isAgg && p.peek.Kind != lexer.LParen {
+			return p.aggregate(kind, pos)
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.cur.Kind == lexer.LParen {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			call := &ast.Call{Name: name, Pos: pos}
+			if p.cur.Kind != lexer.RParen {
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, e)
+					if p.cur.Kind != lexer.Comma {
+						break
+					}
+					if err := p.next(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &ast.Var{Name: name, Pos: pos}, nil
+	}
+	return nil, p.errf(pos, "expected an expression, found %v", p.describe(p.cur))
+}
+
+// aggregate := KIND [target] ":" "{" conjunction "}"
+func (p *parser) aggregate(kind ast.AggKind, pos ast.Pos) (ast.Expr, error) {
+	if err := p.next(); err != nil { // consume keyword
+		return nil, err
+	}
+	agg := &ast.Aggregate{Kind: kind, Pos: pos}
+	if kind != ast.AggCount {
+		t, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		agg.Target = t
+	}
+	if _, err := p.expect(lexer.Colon); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return nil, err
+	}
+	body, err := p.conjunction()
+	if err != nil {
+		return nil, err
+	}
+	agg.Body = body
+	if _, err := p.expect(lexer.RBrace); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}

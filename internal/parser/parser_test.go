@@ -1,0 +1,271 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"sti/internal/ast"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse failed: %v\nsource:\n%s", err, src)
+	}
+	return p
+}
+
+func TestDecl(t *testing.T) {
+	p := parse(t, `.decl edge(x:number, y:number)`)
+	if len(p.Decls) != 1 {
+		t.Fatalf("decls = %d", len(p.Decls))
+	}
+	d := p.Decls[0]
+	if d.Name != "edge" || d.Arity() != 2 || d.Attrs[0].Name != "x" {
+		t.Fatalf("decl = %+v", d)
+	}
+	if d.Rep != ast.RepDefault {
+		t.Fatalf("rep = %v", d.Rep)
+	}
+}
+
+func TestDeclQualifiers(t *testing.T) {
+	p := parse(t, `
+.decl a(x:number) btree
+.decl b(x:number) brie
+.decl e(x:number, y:number) eqrel
+.decl n()
+`)
+	if p.Decls[0].Rep != ast.RepBTree || p.Decls[1].Rep != ast.RepBrie || p.Decls[2].Rep != ast.RepEqRel {
+		t.Fatal("qualifiers wrong")
+	}
+	if p.Decls[3].Arity() != 0 {
+		t.Fatal("nullary decl wrong")
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	p := parse(t, ".decl r(x:number)\n.input r\n.output r\n.printsize r")
+	if len(p.Directives) != 3 {
+		t.Fatalf("directives = %d", len(p.Directives))
+	}
+	kinds := []ast.DirectiveKind{ast.DirInput, ast.DirOutput, ast.DirPrintSize}
+	for i, d := range p.Directives {
+		if d.Kind != kinds[i] || d.Rel != "r" {
+			t.Fatalf("directive %d = %+v", i, d)
+		}
+	}
+}
+
+func TestFactAndRule(t *testing.T) {
+	p := parse(t, `
+.decl parent(a:symbol, b:symbol)
+.decl gp(a:symbol, b:symbol)
+parent("Bob", "Alice").
+gp(x, z) :- parent(x, y), parent(y, z).
+`)
+	if len(p.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(p.Clauses))
+	}
+	if !p.Clauses[0].IsFact() || p.Clauses[1].IsFact() {
+		t.Fatal("fact/rule classification wrong")
+	}
+	rule := p.Clauses[1]
+	if len(rule.Body) != 2 {
+		t.Fatalf("body = %d literals", len(rule.Body))
+	}
+	if _, ok := rule.Body[0].(*ast.Atom); !ok {
+		t.Fatalf("body[0] = %T", rule.Body[0])
+	}
+}
+
+func TestNegationAndConstraints(t *testing.T) {
+	p := parse(t, `
+.decl u(x:number)
+.decl e(x:number, y:number)
+.decl p(x:number)
+u(y) :- u(x), e(x, y), !p(y), x < y, y != 3.
+`)
+	body := p.Clauses[0].Body
+	if len(body) != 5 {
+		t.Fatalf("body = %d literals", len(body))
+	}
+	if n, ok := body[2].(*ast.Negation); !ok || n.Atom.Name != "p" {
+		t.Fatalf("body[2] = %T", body[2])
+	}
+	if c, ok := body[3].(*ast.Constraint); !ok || c.Op != ast.CmpLT {
+		t.Fatalf("body[3] = %+v", body[3])
+	}
+	if c, ok := body[4].(*ast.Constraint); !ok || c.Op != ast.CmpNE {
+		t.Fatalf("body[4] = %+v", body[4])
+	}
+}
+
+func TestDisjunctionExpands(t *testing.T) {
+	p := parse(t, `
+.decl a(x:number)
+.decl b(x:number)
+.decl c(x:number)
+a(x) :- b(x) ; c(x).
+`)
+	if len(p.Clauses) != 2 {
+		t.Fatalf("disjunction expanded to %d clauses", len(p.Clauses))
+	}
+	if p.Clauses[0].Head.Name != "a" || p.Clauses[1].Head.Name != "a" {
+		t.Fatal("heads wrong")
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	p := parse(t, `
+.decl r(x:number)
+r(y) :- r(x), y = 1 + 2 * 3.
+`)
+	cons := p.Clauses[0].Body[1].(*ast.Constraint)
+	s := ast.ExprString(cons.R)
+	if s != "(1 + (2 * 3))" {
+		t.Fatalf("precedence: %s", s)
+	}
+}
+
+func TestPowerRightAssociative(t *testing.T) {
+	p := parse(t, ".decl r(x:number)\nr(y) :- r(x), y = 2 ^ 3 ^ 2.")
+	cons := p.Clauses[0].Body[1].(*ast.Constraint)
+	if s := ast.ExprString(cons.R); s != "(2 ^ (3 ^ 2))" {
+		t.Fatalf("power associativity: %s", s)
+	}
+}
+
+func TestKeywordOperators(t *testing.T) {
+	p := parse(t, ".decl r(x:number)\nr(y) :- r(x), y = x band 7 bor 1.")
+	cons := p.Clauses[0].Body[1].(*ast.Constraint)
+	if s := ast.ExprString(cons.R); s != "((x band 7) bor 1)" {
+		t.Fatalf("keyword ops: %s", s)
+	}
+}
+
+func TestUnaryFolding(t *testing.T) {
+	p := parse(t, ".decl r(x:number)\nr(-5).")
+	lit, ok := p.Clauses[0].Head.Args[0].(*ast.NumLit)
+	if !ok || lit.Val != -5 {
+		t.Fatalf("negative literal = %v", ast.ExprString(p.Clauses[0].Head.Args[0]))
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	p := parse(t, ".decl e(x:number,y:number)\n.decl n(x:number)\nn(x) :- e(x, _).")
+	if _, ok := p.Clauses[0].Body[0].(*ast.Atom).Args[1].(*ast.Wildcard); !ok {
+		t.Fatal("wildcard not parsed")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	p := parse(t, `
+.decl e(x:number, y:number)
+.decl r(x:number)
+r(n) :- e(x, _), n = count : { e(x, _) }.
+r(s) :- e(x, _), s = sum y : { e(x, y) }.
+r(m) :- e(x, _), m = min y : { e(x, y) }.
+`)
+	for i, wantKind := range []ast.AggKind{ast.AggCount, ast.AggSum, ast.AggMin} {
+		cons := p.Clauses[i].Body[1].(*ast.Constraint)
+		agg, ok := cons.R.(*ast.Aggregate)
+		if !ok {
+			t.Fatalf("clause %d: RHS = %T", i, cons.R)
+		}
+		if agg.Kind != wantKind {
+			t.Fatalf("clause %d: kind = %v", i, agg.Kind)
+		}
+		if (wantKind == ast.AggCount) != (agg.Target == nil) {
+			t.Fatalf("clause %d: target = %v", i, agg.Target)
+		}
+	}
+}
+
+func TestMinAsFunctor(t *testing.T) {
+	p := parse(t, ".decl r(x:number)\nr(y) :- r(x), y = min(x, 3).")
+	cons := p.Clauses[0].Body[1].(*ast.Constraint)
+	call, ok := cons.R.(*ast.Call)
+	if !ok || call.Name != "min" || len(call.Args) != 2 {
+		t.Fatalf("min functor = %v", ast.ExprString(cons.R))
+	}
+}
+
+func TestStringFunctors(t *testing.T) {
+	p := parse(t, `.decl r(s:symbol)
+r(cat(s, "x")) :- r(s), strlen(s) < 5.`)
+	if _, ok := p.Clauses[0].Head.Args[0].(*ast.Call); !ok {
+		t.Fatal("cat not parsed as call")
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	p := parse(t, `.decl r(a:number, b:unsigned, c:float, d:symbol)
+r(1, 2u, 3.5, "s").`)
+	args := p.Clauses[0].Head.Args
+	if _, ok := args[0].(*ast.NumLit); !ok {
+		t.Errorf("arg0 = %T", args[0])
+	}
+	if u, ok := args[1].(*ast.UnsignedLit); !ok || u.Val != 2 {
+		t.Errorf("arg1 = %T", args[1])
+	}
+	if f, ok := args[2].(*ast.FloatLit); !ok || f.Val != 3.5 {
+		t.Errorf("arg2 = %T", args[2])
+	}
+	if s, ok := args[3].(*ast.StrLit); !ok || s.Val != "s" {
+		t.Errorf("arg3 = %T", args[3])
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `.decl edge(x:number, y:number)
+.decl path(x:number, y:number) brie
+.input edge
+.output path
+edge(1, 2).
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z), x != z.
+`
+	p1 := parse(t, src)
+	rendered := p1.String()
+	p2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of rendered program failed: %v\n%s", err, rendered)
+	}
+	if p1.String() != p2.String() {
+		t.Fatalf("round trip unstable:\n%s\nvs\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		".decl",                   // missing name
+		".decl r(x)",              // missing type
+		".decl r(x:bogus)",        // bad type
+		".decl r(x:number) funky", // bad qualifier
+		"r(x",                     // unterminated atom
+		"r(x) :- .",               // empty body
+		"r(x) :- s(x)",            // missing dot
+		"r(x) :- 3.",              // number is not a literal
+		"r(x) :- x.",              // var is not a literal
+		".input",                  // missing relation
+		"r(x) :- s(x), y = .",     // missing expr
+		"r() :- count : { }.",     // empty aggregate body
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted invalid program %q", src)
+		}
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Parse(".decl r(x:number)\nr(x :- s(x).")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error lacks line 2 position: %v", err)
+	}
+}

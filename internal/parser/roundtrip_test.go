@@ -1,0 +1,103 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sti/internal/ast"
+)
+
+// genExpr builds a random well-formed expression over variables x, y.
+func genExpr(rng *rand.Rand, depth int) ast.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &ast.NumLit{Val: int32(rng.Intn(100))}
+		case 1:
+			return &ast.Var{Name: "x"}
+		case 2:
+			return &ast.Var{Name: "y"}
+		default:
+			return &ast.NumLit{Val: -int32(rng.Intn(100)) - 1}
+		}
+	}
+	ops := []ast.BinOp{
+		ast.OpAdd, ast.OpSub, ast.OpMul, ast.OpBAnd, ast.OpBOr,
+		ast.OpBXor, ast.OpBShl, ast.OpBShr,
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return &ast.UnExpr{Op: ast.OpBNot, E: genExpr(rng, depth-1)}
+	case 1:
+		return &ast.Call{Name: "min", Args: []ast.Expr{genExpr(rng, depth-1), genExpr(rng, depth-1)}}
+	default:
+		return &ast.BinExpr{
+			Op: ops[rng.Intn(len(ops))],
+			L:  genExpr(rng, depth-1),
+			R:  genExpr(rng, depth-1),
+		}
+	}
+}
+
+// TestRandomExpressionRoundTrip: printing a random expression and parsing
+// it back yields the identical rendering (print∘parse∘print = print).
+func TestRandomExpressionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		e := genExpr(rng, 4)
+		src := fmt.Sprintf(".decl r(x:number, y:number)\n.decl s(x:number)\ns(%s) :- r(x, y).",
+			ast.ExprString(e))
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nsource: %s", trial, err, src)
+		}
+		rendered := p1.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("trial %d re-parse: %v\n%s", trial, err, rendered)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("trial %d unstable:\n%s\nvs\n%s", trial, rendered, p2.String())
+		}
+	}
+}
+
+// TestRandomClauseRoundTrip exercises whole clauses with negation,
+// constraints, and aggregates.
+func TestRandomClauseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	cmps := []string{"<", "<=", ">", ">=", "=", "!="}
+	for trial := 0; trial < 200; trial++ {
+		var body []string
+		body = append(body, "r(x, y)")
+		if rng.Intn(2) == 0 {
+			body = append(body, "!t(x)")
+		}
+		if rng.Intn(2) == 0 {
+			body = append(body, fmt.Sprintf("%s %s %s",
+				ast.ExprString(genExpr(rng, 2)), cmps[rng.Intn(len(cmps))], ast.ExprString(genExpr(rng, 2))))
+		}
+		if rng.Intn(3) == 0 {
+			body = append(body, "n = count : { r(x, _) }")
+		}
+		src := fmt.Sprintf(`.decl r(x:number, y:number)
+.decl t(x:number)
+.decl s(x:number)
+.decl u(x:number, n:number)
+s(x) :- %s.`, strings.Join(body, ", "))
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		rendered := p1.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("trial %d re-parse: %v\n%s", trial, err, rendered)
+		}
+		if p2.String() != rendered {
+			t.Fatalf("trial %d unstable:\n%s\nvs\n%s", trial, rendered, p2.String())
+		}
+	}
+}

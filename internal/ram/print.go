@@ -1,0 +1,182 @@
+package ram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the program in the textual style of the paper's Fig 3.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Relations {
+		fmt.Fprintf(&b, "DECL %s arity=%d rep=%s orders=%v", r.Name, r.Arity, r.Rep, r.Orders)
+		if r.Input {
+			b.WriteString(" input")
+		}
+		if r.Output {
+			b.WriteString(" output")
+		}
+		if r.PrintSize {
+			b.WriteString(" printsize")
+		}
+		b.WriteByte('\n')
+	}
+	printStmt(&b, p.Main, 0)
+	return b.String()
+}
+
+func ind(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printStmt(b *strings.Builder, s Statement, depth int) {
+	switch s := s.(type) {
+	case *Sequence:
+		for _, st := range s.Stmts {
+			printStmt(b, st, depth)
+		}
+	case *Loop:
+		ind(b, depth)
+		b.WriteString("LOOP\n")
+		printStmt(b, s.Body, depth+1)
+		ind(b, depth)
+		b.WriteString("END LOOP\n")
+	case *Exit:
+		ind(b, depth)
+		fmt.Fprintf(b, "EXIT (%s)\n", CondString(s.Cond))
+	case *Query:
+		ind(b, depth)
+		label := s.Label
+		if label == "" {
+			label = fmt.Sprintf("rule#%d", s.RuleID)
+		}
+		fmt.Fprintf(b, "QUERY %s\n", label)
+		printOp(b, s.Root, depth+1)
+	case *Clear:
+		ind(b, depth)
+		fmt.Fprintf(b, "CLEAR %s\n", s.Rel.Name)
+	case *Swap:
+		ind(b, depth)
+		fmt.Fprintf(b, "SWAP (%s, %s)\n", s.A.Name, s.B.Name)
+	case *Merge:
+		ind(b, depth)
+		fmt.Fprintf(b, "MERGE %s INTO %s\n", s.Src.Name, s.Dst.Name)
+	case *IO:
+		ind(b, depth)
+		switch s.Kind {
+		case IOLoad:
+			fmt.Fprintf(b, "LOAD %s\n", s.Rel.Name)
+		case IOStore:
+			fmt.Fprintf(b, "STORE %s\n", s.Rel.Name)
+		default:
+			fmt.Fprintf(b, "PRINTSIZE %s\n", s.Rel.Name)
+		}
+	case *LogTimer:
+		ind(b, depth)
+		fmt.Fprintf(b, "TIMER %q\n", s.Label)
+		printStmt(b, s.Stmt, depth+1)
+	default:
+		ind(b, depth)
+		fmt.Fprintf(b, "<%T>\n", s)
+	}
+}
+
+func printOp(b *strings.Builder, o Operation, depth int) {
+	switch o := o.(type) {
+	case *Scan:
+		ind(b, depth)
+		fmt.Fprintf(b, "FOR t%d IN %s\n", o.TupleID, o.Rel.Name)
+		printOp(b, o.Nested, depth+1)
+	case *IndexScan:
+		ind(b, depth)
+		fmt.Fprintf(b, "FOR t%d IN %s ON INDEX %s\n", o.TupleID, o.Rel.Name, patternString(o.Pattern))
+		printOp(b, o.Nested, depth+1)
+	case *Choice:
+		ind(b, depth)
+		fmt.Fprintf(b, "CHOICE t%d IN %s WHERE %s\n", o.TupleID, o.Rel.Name, CondString(o.Cond))
+		printOp(b, o.Nested, depth+1)
+	case *IndexChoice:
+		ind(b, depth)
+		fmt.Fprintf(b, "CHOICE t%d IN %s ON INDEX %s WHERE %s\n",
+			o.TupleID, o.Rel.Name, patternString(o.Pattern), CondString(o.Cond))
+		printOp(b, o.Nested, depth+1)
+	case *Filter:
+		ind(b, depth)
+		fmt.Fprintf(b, "IF (%s)\n", CondString(o.Cond))
+		printOp(b, o.Nested, depth+1)
+	case *Project:
+		ind(b, depth)
+		exprs := make([]string, len(o.Exprs))
+		for i, e := range o.Exprs {
+			exprs[i] = ExprString(e)
+		}
+		fmt.Fprintf(b, "INSERT (%s) INTO %s\n", strings.Join(exprs, ", "), o.Rel.Name)
+	case *Aggregate:
+		ind(b, depth)
+		target := ""
+		if o.Target != nil {
+			target = " " + ExprString(o.Target)
+		}
+		cond := ""
+		if o.Cond != nil {
+			cond = " WHERE " + CondString(o.Cond)
+		}
+		fmt.Fprintf(b, "t%d = %s%s IN %s ON INDEX %s%s\n",
+			o.TupleID, o.Kind, target, o.Rel.Name, patternString(o.Pattern), cond)
+		printOp(b, o.Nested, depth+1)
+	default:
+		ind(b, depth)
+		fmt.Fprintf(b, "<%T>\n", o)
+	}
+}
+
+func patternString(pattern []Expr) string {
+	var parts []string
+	for i, e := range pattern {
+		if e != nil {
+			parts = append(parts, fmt.Sprintf("%d=%s", i, ExprString(e)))
+		}
+	}
+	if len(parts) == 0 {
+		return "(full)"
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// CondString renders a condition.
+func CondString(c Condition) string {
+	switch c := c.(type) {
+	case *And:
+		return CondString(c.L) + " AND " + CondString(c.R)
+	case *Not:
+		return "NOT (" + CondString(c.C) + ")"
+	case *EmptinessCheck:
+		return c.Rel.Name + " = EMPTY"
+	case *ExistenceCheck:
+		return "(" + patternString(c.Pattern) + ") IN " + c.Rel.Name
+	case *Constraint:
+		return fmt.Sprintf("%s %s:%s %s", ExprString(c.L), c.Op, c.Type, ExprString(c.R))
+	default:
+		return fmt.Sprintf("<%T>", c)
+	}
+}
+
+// ExprString renders an expression.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *Constant:
+		return fmt.Sprintf("%d", e.Val)
+	case *TupleElement:
+		return fmt.Sprintf("t%d.%d", e.TupleID, e.Elem)
+	case *Intrinsic:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("%s:%s(%s)", e.Op, e.Type, strings.Join(args, ", "))
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

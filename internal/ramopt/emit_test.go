@@ -1,0 +1,12 @@
+package ramopt_test
+
+import (
+	"sti/internal/codegen"
+	"sti/internal/ram"
+	"sti/internal/symtab"
+)
+
+func emitForTest(rp *ram.Program, st *symtab.Table) (string, error) {
+	src, err := codegen.Emit(rp, st)
+	return string(src), err
+}

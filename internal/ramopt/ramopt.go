@@ -1,0 +1,347 @@
+// Package ramopt implements optional RAM-to-RAM optimization passes, the
+// kind of pre-runtime optimization the paper locates at the RAM level (§2).
+// All passes preserve the program's least fixpoint exactly; they are opt-in
+// (the benchmark figures measure the unoptimized translation, matching the
+// paper's setup).
+//
+// Passes:
+//
+//   - constant folding: intrinsic sub-expressions over constants are
+//     evaluated at optimization time (including string functors through the
+//     symbol table);
+//   - filter fusion: chains of nested filters collapse into one filter with
+//     a conjunction, removing interpreter dispatches per level;
+//   - choice conversion: a scan whose bound tuple is referenced only by the
+//     immediately following filters — not by the projection or any deeper
+//     operation — only needs *one* witness, so it becomes a (index) choice
+//     that stops at the first match.
+package ramopt
+
+import (
+	"sti/internal/ram"
+	"sti/internal/rtl"
+	"sti/internal/symtab"
+	"sti/internal/value"
+)
+
+// Options selects passes.
+type Options struct {
+	FoldConstants bool
+	FuseFilters   bool
+	Choices       bool
+}
+
+// All enables every pass.
+func All() Options {
+	return Options{FoldConstants: true, FuseFilters: true, Choices: true}
+}
+
+// Optimize rewrites the program in place.
+func Optimize(p *ram.Program, st *symtab.Table, opts Options) {
+	o := &optimizer{st: st, opts: opts}
+	p.Main = o.stmt(p.Main)
+}
+
+type optimizer struct {
+	st   *symtab.Table
+	opts Options
+}
+
+func (o *optimizer) stmt(s ram.Statement) ram.Statement {
+	switch s := s.(type) {
+	case *ram.Sequence:
+		for i, st := range s.Stmts {
+			s.Stmts[i] = o.stmt(st)
+		}
+		return s
+	case *ram.Loop:
+		s.Body = o.stmt(s.Body)
+		return s
+	case *ram.Exit:
+		s.Cond = o.cond(s.Cond)
+		return s
+	case *ram.Query:
+		s.Root = o.op(s.Root)
+		return s
+	case *ram.LogTimer:
+		s.Stmt = o.stmt(s.Stmt)
+		return s
+	default:
+		return s
+	}
+}
+
+func (o *optimizer) op(op ram.Operation) ram.Operation {
+	switch op := op.(type) {
+	case *ram.Scan:
+		op.Nested = o.op(op.Nested)
+		if o.opts.Choices {
+			if cond, inner, ok := o.choiceBody(op.TupleID, op.Nested); ok {
+				return &ram.Choice{Rel: op.Rel, Cond: cond, TupleID: op.TupleID, Nested: inner}
+			}
+		}
+		return op
+	case *ram.IndexScan:
+		o.foldPattern(op.Pattern)
+		op.Nested = o.op(op.Nested)
+		if o.opts.Choices {
+			if cond, inner, ok := o.choiceBody(op.TupleID, op.Nested); ok {
+				return &ram.IndexChoice{
+					Rel: op.Rel, IndexID: op.IndexID, Pattern: op.Pattern,
+					Cond: cond, TupleID: op.TupleID, Nested: inner,
+				}
+			}
+		}
+		return op
+	case *ram.Choice:
+		op.Cond = o.cond(op.Cond)
+		op.Nested = o.op(op.Nested)
+		return op
+	case *ram.IndexChoice:
+		o.foldPattern(op.Pattern)
+		op.Cond = o.cond(op.Cond)
+		op.Nested = o.op(op.Nested)
+		return op
+	case *ram.Filter:
+		op.Cond = o.cond(op.Cond)
+		op.Nested = o.op(op.Nested)
+		if o.opts.FuseFilters {
+			if inner, ok := op.Nested.(*ram.Filter); ok {
+				return o.op(&ram.Filter{
+					Cond:   &ram.And{L: op.Cond, R: inner.Cond},
+					Nested: inner.Nested,
+				})
+			}
+		}
+		return op
+	case *ram.Project:
+		for i, e := range op.Exprs {
+			op.Exprs[i] = o.expr(e)
+		}
+		return op
+	case *ram.Aggregate:
+		o.foldPattern(op.Pattern)
+		if op.Cond != nil {
+			op.Cond = o.cond(op.Cond)
+		}
+		if op.Target != nil {
+			op.Target = o.expr(op.Target)
+		}
+		op.Nested = o.op(op.Nested)
+		return op
+	default:
+		return op
+	}
+}
+
+// choiceBody recognizes the choice-convertible shape under a scan binding
+// tid: an optional cascade of filters (which may read tid) ending in an
+// operation that never reads tid. Returns the merged filter condition (nil
+// when there were no filters) and that final operation.
+func (o *optimizer) choiceBody(tid int, nested ram.Operation) (ram.Condition, ram.Operation, bool) {
+	var cond ram.Condition
+	cur := nested
+	for {
+		f, ok := cur.(*ram.Filter)
+		if !ok {
+			break
+		}
+		if cond == nil {
+			cond = f.Cond
+		} else {
+			cond = &ram.And{L: cond, R: f.Cond}
+		}
+		cur = f.Nested
+	}
+	// Only a terminal projection qualifies: deeper scans re-enter the loop
+	// structure and their iteration counts depend on every witness.
+	proj, ok := cur.(*ram.Project)
+	if !ok {
+		return nil, nil, false
+	}
+	if opReadsTuple(proj, tid) {
+		return nil, nil, false
+	}
+	return cond, proj, true
+}
+
+// opReadsTuple reports whether any expression under op reads tuple tid.
+func opReadsTuple(op ram.Operation, tid int) bool {
+	found := false
+	walkOpExprs(op, func(e ram.Expr) {
+		if readsTuple(e, tid) {
+			found = true
+		}
+	})
+	return found
+}
+
+func walkOpExprs(op ram.Operation, fn func(ram.Expr)) {
+	switch op := op.(type) {
+	case *ram.Project:
+		for _, e := range op.Exprs {
+			fn(e)
+		}
+	case *ram.Filter:
+		walkCondExprs(op.Cond, fn)
+		walkOpExprs(op.Nested, fn)
+	case *ram.Scan:
+		walkOpExprs(op.Nested, fn)
+	case *ram.IndexScan:
+		for _, e := range op.Pattern {
+			if e != nil {
+				fn(e)
+			}
+		}
+		walkOpExprs(op.Nested, fn)
+	case *ram.Choice:
+		walkCondExprs(op.Cond, fn)
+		walkOpExprs(op.Nested, fn)
+	case *ram.IndexChoice:
+		for _, e := range op.Pattern {
+			if e != nil {
+				fn(e)
+			}
+		}
+		walkCondExprs(op.Cond, fn)
+		walkOpExprs(op.Nested, fn)
+	case *ram.Aggregate:
+		for _, e := range op.Pattern {
+			if e != nil {
+				fn(e)
+			}
+		}
+		if op.Cond != nil {
+			walkCondExprs(op.Cond, fn)
+		}
+		if op.Target != nil {
+			fn(op.Target)
+		}
+		walkOpExprs(op.Nested, fn)
+	}
+}
+
+func walkCondExprs(c ram.Condition, fn func(ram.Expr)) {
+	switch c := c.(type) {
+	case *ram.And:
+		walkCondExprs(c.L, fn)
+		walkCondExprs(c.R, fn)
+	case *ram.Not:
+		walkCondExprs(c.C, fn)
+	case *ram.ExistenceCheck:
+		for _, e := range c.Pattern {
+			if e != nil {
+				fn(e)
+			}
+		}
+	case *ram.Constraint:
+		fn(c.L)
+		fn(c.R)
+	}
+}
+
+func readsTuple(e ram.Expr, tid int) bool {
+	switch e := e.(type) {
+	case *ram.TupleElement:
+		return e.TupleID == tid
+	case *ram.Intrinsic:
+		for _, a := range e.Args {
+			if readsTuple(a, tid) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (o *optimizer) foldPattern(pattern []ram.Expr) {
+	for i, e := range pattern {
+		if e != nil {
+			pattern[i] = o.expr(e)
+		}
+	}
+}
+
+func (o *optimizer) cond(c ram.Condition) ram.Condition {
+	switch c := c.(type) {
+	case *ram.And:
+		c.L = o.cond(c.L)
+		c.R = o.cond(c.R)
+		return c
+	case *ram.Not:
+		c.C = o.cond(c.C)
+		return c
+	case *ram.ExistenceCheck:
+		o.foldPattern(c.Pattern)
+		return c
+	case *ram.Constraint:
+		c.L = o.expr(c.L)
+		c.R = o.expr(c.R)
+		return c
+	default:
+		return c
+	}
+}
+
+// expr folds constant intrinsic applications. Operators with failure cases
+// (division, modulo, to_number) are never folded so that runtime errors
+// keep their runtime semantics.
+func (o *optimizer) expr(e ram.Expr) ram.Expr {
+	in, ok := e.(*ram.Intrinsic)
+	if !ok {
+		return e
+	}
+	allConst := true
+	for i, a := range in.Args {
+		in.Args[i] = o.expr(a)
+		if _, isConst := in.Args[i].(*ram.Constant); !isConst {
+			allConst = false
+		}
+	}
+	if !o.opts.FoldConstants || !allConst || !foldable(in.Op) {
+		return in
+	}
+	args := make([]value.Value, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = a.(*ram.Constant).Val
+	}
+	return &ram.Constant{Val: o.evalConst(in, args)}
+}
+
+func foldable(op ram.IntrinsicOp) bool {
+	switch op {
+	case ram.OpDiv, ram.OpMod, ram.OpToNumber:
+		return false
+	default:
+		return true
+	}
+}
+
+func (o *optimizer) evalConst(in *ram.Intrinsic, args []value.Value) value.Value {
+	switch in.Op {
+	case ram.OpNeg:
+		return rtl.Neg(in.Type, args[0])
+	case ram.OpBNot:
+		return rtl.BNot(in.Type, args[0])
+	case ram.OpLNot:
+		return rtl.LNot(args[0])
+	case ram.OpCat:
+		return rtl.Cat(o.st, args...)
+	case ram.OpStrlen:
+		return rtl.Strlen(o.st, args[0])
+	case ram.OpSubstr:
+		return rtl.Substr(o.st, args[0], args[1], args[2])
+	case ram.OpOrd:
+		return args[0]
+	case ram.OpToString:
+		return rtl.ToString(o.st, args[0])
+	case ram.OpMin, ram.OpMax:
+		acc := args[0]
+		for _, a := range args[1:] {
+			acc = rtl.Arith(in.Op, in.Type, acc, a)
+		}
+		return acc
+	default:
+		return rtl.Arith(in.Op, in.Type, args[0], args[1])
+	}
+}

@@ -1,0 +1,95 @@
+package relation
+
+import (
+	"fmt"
+
+	"sti/internal/dyntree"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// legacyAdapter is the relation store of the legacy interpreter (§5.1): a
+// B-tree ordered by a *runtime* comparator that interprets the order array
+// on every comparison. Tuples are stored in source order; the encoded view
+// required by the Index contract is produced on output.
+type legacyAdapter struct {
+	tree  *dyntree.Tree
+	order tuple.Order
+}
+
+func newLegacyAdapter(order tuple.Order) *legacyAdapter {
+	return &legacyAdapter{tree: dyntree.New(dyntree.OrderCmp(order)), order: order}
+}
+
+func (a *legacyAdapter) Arity() int         { return len(a.order) }
+func (a *legacyAdapter) Rep() Rep           { return Legacy }
+func (a *legacyAdapter) Order() tuple.Order { return a.order }
+func (a *legacyAdapter) Size() int          { return a.tree.Size() }
+func (a *legacyAdapter) Clear()             { a.tree.Clear() }
+func (a *legacyAdapter) impl() any          { return a.tree }
+
+func (a *legacyAdapter) Insert(t tuple.Tuple) bool   { return a.tree.Insert(t) }
+func (a *legacyAdapter) Contains(t tuple.Tuple) bool { return a.tree.Contains(t) }
+
+func (a *legacyAdapter) ContainsEncoded(t tuple.Tuple) bool {
+	var src [MaxArity]value.Value
+	a.order.Decode(src[:len(a.order)], t)
+	return a.tree.Contains(src[:len(a.order)])
+}
+
+func (a *legacyAdapter) SwapContents(other Index) {
+	o, ok := other.(*legacyAdapter)
+	if !ok || !orderEq(a.order, o.order) {
+		panic(fmt.Sprintf("relation: swap of incompatible indexes (%v and %v)", a.Rep(), other.Rep()))
+	}
+	a.tree.Swap(o.tree)
+}
+
+func (a *legacyAdapter) Scan() Iterator {
+	return &legacyIter{it: a.tree.Iter(), order: a.order, out: make(tuple.Tuple, len(a.order))}
+}
+
+func (a *legacyAdapter) PrefixScan(pattern tuple.Tuple, k int) Iterator {
+	arity := len(a.order)
+	lo := make(tuple.Tuple, arity)
+	hi := make(tuple.Tuple, arity)
+	for i := 0; i < k; i++ {
+		lo[a.order[i]] = pattern[i]
+		hi[a.order[i]] = pattern[i]
+	}
+	for i := k; i < arity; i++ {
+		lo[a.order[i]] = 0
+		hi[a.order[i]] = ^value.Value(0)
+	}
+	return &legacyIter{it: a.tree.Range(lo, hi), order: a.order, out: make(tuple.Tuple, arity)}
+}
+
+func (a *legacyAdapter) AnyMatch(pattern tuple.Tuple, k int) bool {
+	if k == 0 {
+		return a.tree.Size() > 0
+	}
+	it := a.PrefixScan(pattern, k)
+	_, ok := it.Next()
+	return ok
+}
+
+func (a *legacyAdapter) PartitionScan(n int) []Iterator {
+	return []Iterator{a.Scan()}
+}
+
+// legacyIter re-encodes stored source-order tuples into the encoded view on
+// every step — the runtime reordering cost the legacy design pays.
+type legacyIter struct {
+	it    *dyntree.Iter
+	order tuple.Order
+	out   tuple.Tuple
+}
+
+func (l *legacyIter) Next() (tuple.Tuple, bool) {
+	src, ok := l.it.Next()
+	if !ok {
+		return nil, false
+	}
+	l.order.Encode(l.out, src)
+	return l.out, true
+}

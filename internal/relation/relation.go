@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"fmt"
+
+	"sti/internal/tuple"
+)
+
+// Relation is a named set of tuples backed by one or more indexes, each
+// maintaining a different lexicographic order so that every primitive search
+// the program performs is a prefix search on some index (paper §2). Index 0
+// is the primary index; insertions go to all indexes, and Size/Contains are
+// answered by the primary.
+type Relation struct {
+	Name    string
+	arity   int
+	rep     Rep
+	indexes []Index
+}
+
+// New creates a relation with one index per given order. Orders must all
+// have length arity; at least one order is required (the primary). EqRel
+// relations are restricted to a single natural-order index.
+func New(name string, rep Rep, arity int, orders []tuple.Order) *Relation {
+	if len(orders) == 0 {
+		orders = []tuple.Order{tuple.Identity(arity)}
+	}
+	r := &Relation{Name: name, arity: arity, rep: rep}
+	for _, o := range orders {
+		if len(o) != arity {
+			panic(fmt.Sprintf("relation %s: order %v does not match arity %d", name, o, arity))
+		}
+		r.indexes = append(r.indexes, NewIndex(rep, o))
+	}
+	return r
+}
+
+// NewIndex builds a single de-specialized index: the factory entry point of
+// the paper's Fig 7, dispatching on representation and arity.
+func NewIndex(rep Rep, order tuple.Order) Index {
+	if len(order) == 0 {
+		return &nullaryAdapter{rep: rep}
+	}
+	if len(order) > MaxArity {
+		panic(fmt.Sprintf("relation: arity %d exceeds the pre-instantiated maximum %d", len(order), MaxArity))
+	}
+	switch rep {
+	case BTree:
+		return newBTreeIndex(order)
+	case Brie:
+		return newBrieAdapter(order)
+	case EqRel:
+		return newEqrelAdapter(order)
+	case Legacy:
+		return newLegacyAdapter(order)
+	default:
+		panic(fmt.Sprintf("relation: unknown representation %v", rep))
+	}
+}
+
+// Arity reports the tuple width.
+func (r *Relation) Arity() int { return r.arity }
+
+// Rep reports the backing representation.
+func (r *Relation) Rep() Rep { return r.rep }
+
+// NumIndexes reports how many indexes the relation maintains.
+func (r *Relation) NumIndexes() int { return len(r.indexes) }
+
+// Index returns the i-th index.
+func (r *Relation) Index(i int) Index { return r.indexes[i] }
+
+// Primary returns the primary index.
+func (r *Relation) Primary() Index { return r.indexes[0] }
+
+// Insert adds a source-order tuple to every index, reporting whether the
+// primary index did not already contain it.
+func (r *Relation) Insert(t tuple.Tuple) bool {
+	added := r.indexes[0].Insert(t)
+	for _, idx := range r.indexes[1:] {
+		idx.Insert(t)
+	}
+	return added
+}
+
+// Contains tests membership of a source-order tuple.
+func (r *Relation) Contains(t tuple.Tuple) bool { return r.indexes[0].Contains(t) }
+
+// Size reports the number of tuples.
+func (r *Relation) Size() int { return r.indexes[0].Size() }
+
+// Empty reports whether the relation holds no tuples.
+func (r *Relation) Empty() bool { return r.Size() == 0 }
+
+// Clear removes all tuples from all indexes.
+func (r *Relation) Clear() {
+	for _, idx := range r.indexes {
+		idx.Clear()
+	}
+}
+
+// SwapContents exchanges contents with another relation of identical
+// signature (arity, representation, index orders), in O(#indexes).
+func (r *Relation) SwapContents(o *Relation) {
+	if len(r.indexes) != len(o.indexes) {
+		panic(fmt.Sprintf("relation: swap of %s and %s with different index counts", r.Name, o.Name))
+	}
+	for i := range r.indexes {
+		r.indexes[i].SwapContents(o.indexes[i])
+	}
+}
+
+// Scan enumerates the primary index in source order (decoding if the primary
+// order is not natural).
+func (r *Relation) Scan() Iterator {
+	it := r.indexes[0].Scan()
+	return NewDecoder(it, r.indexes[0].Order())
+}
+
+// NewDecoder wraps an encoded-order iterator so it yields source-order
+// tuples. If the order is natural the iterator is returned unchanged.
+func NewDecoder(it Iterator, order tuple.Order) Iterator {
+	if order.IsIdentity() {
+		return it
+	}
+	return &decodeIter{src: it, order: order, out: make(tuple.Tuple, len(order))}
+}
+
+type decodeIter struct {
+	src   Iterator
+	order tuple.Order
+	out   tuple.Tuple
+}
+
+func (d *decodeIter) Next() (tuple.Tuple, bool) {
+	t, ok := d.src.Next()
+	if !ok {
+		return nil, false
+	}
+	d.order.Decode(d.out, t)
+	return d.out, true
+}

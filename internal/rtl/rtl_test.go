@@ -1,0 +1,209 @@
+package rtl
+
+import (
+	"testing"
+
+	"sti/internal/ram"
+	"sti/internal/symtab"
+	"sti/internal/value"
+)
+
+func catch(t *testing.T, fn func()) (err *Error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			var ok bool
+			if err, ok = r.(*Error); !ok {
+				t.Fatalf("panic value %T", r)
+			}
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestNumberArith(t *testing.T) {
+	n := value.FromInt
+	tests := []struct {
+		op   ram.IntrinsicOp
+		a, b int32
+		want int32
+	}{
+		{ram.OpAdd, 3, 4, 7},
+		{ram.OpAdd, 1<<31 - 1, 1, -1 << 31}, // wraparound, like Soufflé
+		{ram.OpSub, 3, 5, -2},
+		{ram.OpMul, -3, 4, -12},
+		{ram.OpDiv, 7, 2, 3},
+		{ram.OpDiv, -7, 2, -3},
+		{ram.OpMod, 7, 3, 1},
+		{ram.OpPow, 2, 10, 1024},
+		{ram.OpPow, 5, 0, 1},
+		{ram.OpPow, 5, -1, 0},
+		{ram.OpBAnd, 0b1100, 0b1010, 0b1000},
+		{ram.OpBOr, 0b1100, 0b1010, 0b1110},
+		{ram.OpBXor, 0b1100, 0b1010, 0b0110},
+		{ram.OpBShl, 1, 4, 16},
+		{ram.OpBShr, 16, 2, 4},
+		{ram.OpLAnd, 2, 3, 1},
+		{ram.OpLAnd, 2, 0, 0},
+		{ram.OpLOr, 0, 0, 0},
+		{ram.OpLOr, 0, 9, 1},
+		{ram.OpMin, -5, 3, -5},
+		{ram.OpMax, -5, 3, 3},
+	}
+	for _, tc := range tests {
+		got := Arith(tc.op, value.Number, n(tc.a), n(tc.b))
+		if value.AsInt(got) != tc.want {
+			t.Errorf("%v(%d, %d) = %d, want %d", tc.op, tc.a, tc.b, value.AsInt(got), tc.want)
+		}
+	}
+}
+
+func TestUnsignedArith(t *testing.T) {
+	if Arith(ram.OpSub, value.Unsigned, 1, 2) != ^value.Value(0) {
+		t.Error("unsigned subtraction should wrap")
+	}
+	if Arith(ram.OpBShr, value.Unsigned, 1<<31, 31) != 1 {
+		t.Error("unsigned shift right should be logical")
+	}
+	// Signed shift right preserves sign.
+	if value.AsInt(Arith(ram.OpBShr, value.Number, value.FromInt(-8), value.FromInt(1))) != -4 {
+		t.Error("signed shift right should be arithmetic")
+	}
+	if Arith(ram.OpMin, value.Unsigned, 1, ^value.Value(0)) != 1 {
+		t.Error("unsigned min treats the bit pattern as unsigned")
+	}
+}
+
+func TestFloatArith(t *testing.T) {
+	f := value.FromFloat
+	if value.AsFloat(Arith(ram.OpAdd, value.Float, f(1.5), f(2.25))) != 3.75 {
+		t.Error("float add")
+	}
+	if value.AsFloat(Arith(ram.OpPow, value.Float, f(2), f(0.5))) != 1.4142135 {
+		t.Error("float pow")
+	}
+	if err := catch(t, func() { Arith(ram.OpBAnd, value.Float, f(1), f(2)) }); err == nil {
+		t.Error("band on float should fail")
+	}
+}
+
+func TestDivisionErrors(t *testing.T) {
+	for _, typ := range []value.Type{value.Number, value.Unsigned, value.Float} {
+		if err := catch(t, func() { Arith(ram.OpDiv, typ, 1, 0) }); err == nil {
+			t.Errorf("%v division by zero not reported", typ)
+		}
+	}
+	if err := catch(t, func() { Arith(ram.OpMod, value.Number, 1, 0) }); err == nil {
+		t.Error("modulo by zero not reported")
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	if value.AsInt(Neg(value.Number, value.FromInt(5))) != -5 {
+		t.Error("neg number")
+	}
+	if value.AsFloat(Neg(value.Float, value.FromFloat(2.5))) != -2.5 {
+		t.Error("neg float")
+	}
+	if value.AsInt(BNot(value.Number, value.FromInt(0))) != -1 {
+		t.Error("bnot")
+	}
+	if BNot(value.Unsigned, 0) != ^value.Value(0) {
+		t.Error("bnot unsigned")
+	}
+	if LNot(0) != 1 || LNot(7) != 0 {
+		t.Error("lnot")
+	}
+	if Bool(true) != 1 || Bool(false) != 0 {
+		t.Error("bool")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	n := value.FromInt
+	if !Compare(ram.CmpLT, value.Number, n(-1), n(1)) {
+		t.Error("-1 < 1 signed")
+	}
+	if Compare(ram.CmpLT, value.Unsigned, n(-1), n(1)) {
+		t.Error("bits of -1 should exceed 1 unsigned")
+	}
+	if !Compare(ram.CmpEQ, value.Float, value.FromFloat(1.5), value.FromFloat(1.5)) {
+		t.Error("float equality")
+	}
+	if !Compare(ram.CmpGE, value.Number, n(3), n(3)) || !Compare(ram.CmpLE, value.Number, n(3), n(3)) {
+		t.Error("boundary comparisons")
+	}
+	if !Compare(ram.CmpNE, value.Number, n(3), n(4)) {
+		t.Error("inequality")
+	}
+}
+
+func TestStringFunctors(t *testing.T) {
+	st := symtab.New()
+	a := st.Intern("foo")
+	b := st.Intern("bar")
+	if st.Resolve(Cat(st, a, b)) != "foobar" {
+		t.Error("cat")
+	}
+	if value.AsInt(Strlen(st, a)) != 3 {
+		t.Error("strlen")
+	}
+	sub := Substr(st, st.Intern("hello"), value.FromInt(1), value.FromInt(3))
+	if st.Resolve(sub) != "ell" {
+		t.Error("substr")
+	}
+	// Clamped and out-of-range substrings.
+	if st.Resolve(Substr(st, a, value.FromInt(1), value.FromInt(99))) != "oo" {
+		t.Error("substr clamp")
+	}
+	if st.Resolve(Substr(st, a, value.FromInt(-1), value.FromInt(2))) != "" {
+		t.Error("substr negative start")
+	}
+	if value.AsInt(ToNumber(st, st.Intern("-42"))) != -42 {
+		t.Error("to_number")
+	}
+	if err := catch(t, func() { ToNumber(st, a) }); err == nil {
+		t.Error("to_number on non-number should fail")
+	}
+	if st.Resolve(ToString(st, value.FromInt(-7))) != "-7" {
+		t.Error("to_string")
+	}
+}
+
+func TestAggAcc(t *testing.T) {
+	var a AggAcc
+	a.Init(ram.AggCount, value.Number)
+	a.Step(0)
+	a.Step(0)
+	if v, ok := a.Finish(); !ok || value.AsInt(v) != 2 {
+		t.Error("count")
+	}
+	a.Init(ram.AggSum, value.Number)
+	if v, ok := a.Finish(); !ok || value.AsInt(v) != 0 {
+		t.Error("empty sum should be 0")
+	}
+	a.Init(ram.AggMin, value.Number)
+	if _, ok := a.Finish(); ok {
+		t.Error("empty min should not produce a result")
+	}
+	a.Init(ram.AggMin, value.Number)
+	a.Step(value.FromInt(-3))
+	a.Step(value.FromInt(5))
+	if v, ok := a.Finish(); !ok || value.AsInt(v) != -3 {
+		t.Error("min")
+	}
+	a.Init(ram.AggMax, value.Float)
+	a.Step(value.FromFloat(1.5))
+	a.Step(value.FromFloat(-2.5))
+	if v, ok := a.Finish(); !ok || value.AsFloat(v) != 1.5 {
+		t.Error("float max")
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	err := catch(t, func() { Fail("bad %s", "thing") })
+	if err == nil || err.Error() != "runtime error: bad thing" {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,84 @@
+// Package symtab implements the engine's symbol table.
+//
+// Strings are interned once and referred to everywhere else by a dense
+// 32-bit ordinal, so that relational data structures only ever store
+// integer words (the paper's second de-specialization step, §3).
+//
+// The table is safe for concurrent use: parallel interpreter workers may
+// intern strings (e.g. via the cat functor) while others resolve them.
+package symtab
+
+import (
+	"fmt"
+	"sync"
+
+	"sti/internal/value"
+)
+
+// Table interns strings to dense ordinals. The zero value is not usable;
+// call New.
+type Table struct {
+	mu      sync.RWMutex
+	ordinal map[string]value.Value
+	str     []string
+}
+
+// New returns an empty symbol table.
+func New() *Table {
+	return &Table{ordinal: make(map[string]value.Value)}
+}
+
+// Intern returns the ordinal for s, assigning the next free ordinal if s has
+// not been seen before.
+func (t *Table) Intern(s string) value.Value {
+	t.mu.RLock()
+	v, ok := t.ordinal[s]
+	t.mu.RUnlock()
+	if ok {
+		return v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v, ok := t.ordinal[s]; ok {
+		return v
+	}
+	v = value.Value(len(t.str))
+	t.ordinal[s] = v
+	t.str = append(t.str, s)
+	return v
+}
+
+// Lookup returns the ordinal for s and whether s has been interned.
+func (t *Table) Lookup(s string) (value.Value, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.ordinal[s]
+	return v, ok
+}
+
+// Resolve returns the string for ordinal v. It panics if v was never issued
+// by this table; that indicates engine corruption, not user error.
+func (t *Table) Resolve(v value.Value) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(v) >= len(t.str) {
+		panic(fmt.Sprintf("symtab: unknown symbol ordinal %d (table size %d)", v, len(t.str)))
+	}
+	return t.str[v]
+}
+
+// Len reports the number of interned symbols.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.str)
+}
+
+// Strings returns a snapshot of all interned strings in ordinal order.
+func (t *Table) Strings() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, len(t.str))
+	copy(out, t.str)
+	return out
+}

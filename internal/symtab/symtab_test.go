@@ -1,0 +1,93 @@
+package symtab
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternResolve(t *testing.T) {
+	st := New()
+	a := st.Intern("alpha")
+	b := st.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings got the same ordinal")
+	}
+	if st.Intern("alpha") != a {
+		t.Fatal("re-interning changed the ordinal")
+	}
+	if st.Resolve(a) != "alpha" || st.Resolve(b) != "beta" {
+		t.Fatal("resolve mismatch")
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+}
+
+func TestOrdinalsAreDense(t *testing.T) {
+	st := New()
+	for i := 0; i < 100; i++ {
+		v := st.Intern(fmt.Sprintf("s%d", i))
+		if int(v) != i {
+			t.Fatalf("ordinal for s%d = %d", i, v)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	st := New()
+	if _, ok := st.Lookup("missing"); ok {
+		t.Fatal("lookup found a missing symbol")
+	}
+	v := st.Intern("present")
+	got, ok := st.Lookup("present")
+	if !ok || got != v {
+		t.Fatalf("lookup = %d,%v want %d,true", got, ok, v)
+	}
+}
+
+func TestEmptyString(t *testing.T) {
+	st := New()
+	v := st.Intern("")
+	if st.Resolve(v) != "" {
+		t.Fatal("empty string not interned faithfully")
+	}
+}
+
+func TestResolveUnknownPanics(t *testing.T) {
+	st := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resolve of unknown ordinal did not panic")
+		}
+	}()
+	st.Resolve(42)
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	st := New()
+	var wg sync.WaitGroup
+	const workers, n = 8, 500
+	results := make([][]uint32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			results[w] = make([]uint32, n)
+			for i := 0; i < n; i++ {
+				results[w][i] = st.Intern(fmt.Sprintf("sym%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.Len() != n {
+		t.Fatalf("Len = %d, want %d", st.Len(), n)
+	}
+	for w := 1; w < workers; w++ {
+		for i := 0; i < n; i++ {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d got different ordinal for sym%d", w, i)
+			}
+		}
+	}
+}

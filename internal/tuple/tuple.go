@@ -1,0 +1,142 @@
+// Package tuple provides tuple utilities shared by the relational data
+// structures and the interpreter: lexicographic comparison of flat tuples
+// and the Order permutations that implement the paper's first
+// de-specialization step (§3).
+//
+// An index only ever stores tuples in the *natural* lexicographic order
+// (element 0 first, then element 1, ...). A relation that needs the order
+// (2,0,1) instead re-encodes each tuple on insert by permuting its elements;
+// scans either decode on read or — with static reordering (§4.2) — the
+// surrounding program is rewritten to read permuted positions directly.
+package tuple
+
+import (
+	"fmt"
+	"strings"
+
+	"sti/internal/value"
+)
+
+// Tuple is a flat, untyped tuple of 32-bit words. Most of the engine works
+// with this dynamic representation; the specialized index instantiations use
+// fixed-size arrays internally.
+type Tuple = []value.Value
+
+// Compare lexicographically compares two equal-length tuples by unsigned
+// bit-pattern order (the storage order of every index).
+func Compare(a, b Tuple) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Equal reports whether two equal-length tuples have identical elements.
+func Equal(a, b Tuple) bool { return Compare(a, b) == 0 }
+
+// Clone returns a copy of t.
+func Clone(t Tuple) Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// String renders a tuple for debugging.
+func String(t Tuple) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Order is a permutation of attribute positions defining a lexicographic
+// order: Order[i] is the source position stored at encoded position i. The
+// identity permutation is the natural order.
+type Order []int
+
+// Identity returns the natural order of the given arity.
+func Identity(arity int) Order {
+	o := make(Order, arity)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// IsIdentity reports whether o is the natural order.
+func (o Order) IsIdentity() bool {
+	for i, p := range o {
+		if p != i {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether o is a permutation of 0..len(o)-1.
+func (o Order) Valid() bool {
+	seen := make([]bool, len(o))
+	for _, p := range o {
+		if p < 0 || p >= len(o) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// Encode permutes src into dst so that dst[i] = src[o[i]]. dst and src must
+// not alias and must both have length len(o).
+func (o Order) Encode(dst, src Tuple) {
+	for i, p := range o {
+		dst[i] = src[p]
+	}
+}
+
+// Decode applies the inverse permutation: dst[o[i]] = src[i].
+func (o Order) Decode(dst, src Tuple) {
+	for i, p := range o {
+		dst[p] = src[i]
+	}
+}
+
+// Encoded returns a freshly allocated encoding of src.
+func (o Order) Encoded(src Tuple) Tuple {
+	dst := make(Tuple, len(o))
+	o.Encode(dst, src)
+	return dst
+}
+
+// Inverse returns the inverse permutation of o.
+func (o Order) Inverse() Order {
+	inv := make(Order, len(o))
+	for i, p := range o {
+		inv[p] = i
+	}
+	return inv
+}
+
+// String renders the order, e.g. "[2 0 1]".
+func (o Order) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, p := range o {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", p)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

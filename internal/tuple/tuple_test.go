@@ -1,0 +1,135 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sti/internal/value"
+)
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{}, Tuple{}, 0},
+		{Tuple{1}, Tuple{1}, 0},
+		{Tuple{1}, Tuple{2}, -1},
+		{Tuple{2}, Tuple{1}, 1},
+		{Tuple{1, 5}, Tuple{1, 6}, -1},
+		{Tuple{1, 6}, Tuple{1, 5}, 1},
+		{Tuple{0, ^value.Value(0)}, Tuple{1, 0}, -1},
+	}
+	for _, tc := range tests {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := Tuple{1, 2, 3}
+	c := Clone(a)
+	if !Equal(a, c) {
+		t.Fatal("clone not equal")
+	}
+	c[0] = 9
+	if a[0] == 9 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestOrderValid(t *testing.T) {
+	tests := []struct {
+		o    Order
+		want bool
+	}{
+		{Order{}, true},
+		{Order{0}, true},
+		{Order{1, 0, 2}, true},
+		{Order{0, 0}, false},
+		{Order{1, 2}, false},
+		{Order{-1, 0}, false},
+	}
+	for _, tc := range tests {
+		if got := tc.o.Valid(); got != tc.want {
+			t.Errorf("%v.Valid() = %v, want %v", tc.o, got, tc.want)
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	if !id.IsIdentity() || !id.Valid() {
+		t.Fatalf("Identity(4) = %v", id)
+	}
+	if (Order{1, 0}).IsIdentity() {
+		t.Error("non-identity reported as identity")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	o := Order{2, 0, 1}
+	src := Tuple{10, 20, 30}
+	enc := o.Encoded(src)
+	// dst[i] = src[o[i]]
+	want := Tuple{30, 10, 20}
+	if !Equal(enc, want) {
+		t.Fatalf("Encoded = %v, want %v", enc, want)
+	}
+	dec := make(Tuple, 3)
+	o.Decode(dec, enc)
+	if !Equal(dec, src) {
+		t.Fatalf("Decode(Encode(x)) = %v, want %v", dec, src)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	o := Order{2, 0, 3, 1}
+	inv := o.Inverse()
+	for i := range o {
+		if inv[o[i]] != i {
+			t.Fatalf("inverse wrong: o=%v inv=%v", o, inv)
+		}
+	}
+	// Encoding by o then by inverse restores the original.
+	src := Tuple{1, 2, 3, 4}
+	if got := inv.Encoded(o.Encoded(src)); !Equal(got, src) {
+		t.Fatalf("inv∘o = %v, want %v", got, src)
+	}
+}
+
+// TestQuickRoundTrip: Decode is the inverse of Encode for random permutations
+// and tuples.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(vals [6]uint32, seed uint32) bool {
+		// Build a permutation from the seed by repeated swaps.
+		o := Identity(6)
+		s := seed
+		for i := 5; i > 0; i-- {
+			s = s*1664525 + 1013904223
+			j := int(s % uint32(i+1))
+			o[i], o[j] = o[j], o[i]
+		}
+		if !o.Valid() {
+			return false
+		}
+		src := Tuple(vals[:])
+		enc := o.Encoded(src)
+		dec := make(Tuple, 6)
+		o.Decode(dec, enc)
+		return Equal(dec, src)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if got := String(Tuple{1, 2}); got != "(1,2)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Order{1, 0}).String(); got != "[1 0]" {
+		t.Errorf("Order.String = %q", got)
+	}
+}

@@ -1,0 +1,95 @@
+// Package value defines the 32-bit machine word used throughout the engine.
+//
+// Following the paper's second de-specialization step (§3), every datum a
+// relation stores — signed numbers, unsigned numbers, floats, and interned
+// symbols — is reduced to a single 32-bit bit pattern. Typed interpretation
+// happens only at the edges: functor evaluation, I/O, and printing. This
+// shrinks the specialization space of the relational data structures from
+// {implementation × arity × element types × orders} down to
+// {implementation × arity}.
+package value
+
+import (
+	"math"
+	"strconv"
+)
+
+// Value is the universal 32-bit word ("RamDomain" in Soufflé). The bit
+// pattern is reinterpreted as int32, uint32, float32, or a symbol-table
+// ordinal depending on the declared attribute type.
+type Value = uint32
+
+// Type describes how a Value's bits are to be interpreted.
+type Type uint8
+
+// The four primitive attribute types of the source language.
+const (
+	Number   Type = iota // signed 32-bit integer
+	Unsigned             // unsigned 32-bit integer
+	Float                // IEEE-754 binary32
+	Symbol               // ordinal into the symbol table
+)
+
+// String returns the source-language spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case Number:
+		return "number"
+	case Unsigned:
+		return "unsigned"
+	case Float:
+		return "float"
+	case Symbol:
+		return "symbol"
+	default:
+		return "type(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// FromInt encodes a signed integer.
+func FromInt(i int32) Value { return Value(i) }
+
+// AsInt decodes a signed integer.
+func AsInt(v Value) int32 { return int32(v) }
+
+// FromFloat encodes a float.
+func FromFloat(f float32) Value { return math.Float32bits(f) }
+
+// AsFloat decodes a float.
+func AsFloat(v Value) float32 { return math.Float32frombits(v) }
+
+// Compare orders two values under the interpretation given by t. Note the
+// caveat from the paper: the *storage* order inside indexes is always the
+// unsigned bit-pattern order, so indexed range queries on float or signed
+// attributes may not coincide with numeric order; comparisons evaluated by
+// the interpreter (constraints, max/min functors) use this typed ordering.
+func Compare(t Type, a, b Value) int {
+	switch t {
+	case Number:
+		x, y := int32(a), int32(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	case Float:
+		x, y := AsFloat(a), AsFloat(b)
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	default: // Unsigned, Symbol: plain bit-pattern order
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+}

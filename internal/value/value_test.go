@@ -1,0 +1,67 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntRoundTrip(t *testing.T) {
+	for _, i := range []int32{0, 1, -1, 1 << 30, -(1 << 30), 2147483647, -2147483648} {
+		if AsInt(FromInt(i)) != i {
+			t.Errorf("int round trip failed for %d", i)
+		}
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, f := range []float32{0, 1.5, -2.25, 3.4e38, -1e-38} {
+		if AsFloat(FromFloat(f)) != f {
+			t.Errorf("float round trip failed for %g", f)
+		}
+	}
+}
+
+func TestQuickRoundTrips(t *testing.T) {
+	if err := quick.Check(func(i int32) bool { return AsInt(FromInt(i)) == i }, nil); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(f float32) bool {
+		v := AsFloat(FromFloat(f))
+		return v == f || (v != v && f != f) // NaN-safe
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareNumber(t *testing.T) {
+	// Signed comparison differs from bit-pattern comparison for negatives.
+	neg, pos := FromInt(-5), FromInt(5)
+	if Compare(Number, neg, pos) != -1 {
+		t.Error("-5 should be < 5 as number")
+	}
+	if Compare(Unsigned, neg, pos) != 1 {
+		t.Error("bits of -5 should be > 5 as unsigned")
+	}
+}
+
+func TestCompareFloat(t *testing.T) {
+	a, b := FromFloat(-1.5), FromFloat(2.5)
+	if Compare(Float, a, b) != -1 || Compare(Float, b, a) != 1 || Compare(Float, a, a) != 0 {
+		t.Error("float comparison wrong")
+	}
+}
+
+func TestCompareSymbolAndUnsigned(t *testing.T) {
+	if Compare(Symbol, 3, 7) != -1 || Compare(Unsigned, 7, 3) != 1 || Compare(Symbol, 4, 4) != 0 {
+		t.Error("ordinal comparison wrong")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{Number: "number", Unsigned: "unsigned", Float: "float", Symbol: "symbol"}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%v.String() = %q, want %q", ty, ty.String(), s)
+		}
+	}
+}

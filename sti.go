@@ -1,0 +1,227 @@
+// Package sti is a Datalog engine built around the Soufflé Tree Interpreter
+// design (Hu, Zhao, Jordan, Scholz: "An Efficient Interpreter for Datalog by
+// De-specializing Relations", PLDI 2021).
+//
+// A Datalog program is parsed, analyzed, and translated to the RAM
+// intermediate representation, then executed by one of three backends:
+//
+//   - the tree interpreter (the paper's contribution) with its four
+//     optimizations individually switchable,
+//   - a closure-compiled engine (the "synthesized" performance baseline),
+//   - a true synthesizer emitting standalone specialized Go source.
+//
+// Quick start:
+//
+//	prog, err := sti.Parse(`
+//	    .decl edge(x:number, y:number)
+//	    .decl path(x:number, y:number)
+//	    .input edge
+//	    .output path
+//	    path(x, y) :- edge(x, y).
+//	    path(x, z) :- path(x, y), edge(y, z).
+//	`)
+//	in := prog.NewInput()
+//	in.Add("edge", 1, 2)
+//	in.Add("edge", 2, 3)
+//	res, err := prog.Run(in)
+//	fmt.Println(res.Size("path")) // 3
+package sti
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"sti/internal/ast2ram"
+	"sti/internal/eio"
+	"sti/internal/parser"
+	"sti/internal/ram"
+	"sti/internal/ramopt"
+	"sti/internal/sema"
+	"sti/internal/symtab"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// Program is a compiled-to-RAM Datalog program, ready to run under any
+// backend.
+type Program struct {
+	sem *sema.Program
+	ram *ram.Program
+	st  *symtab.Table
+}
+
+// Parse parses, semantically checks, and translates a Datalog program.
+func Parse(source string) (*Program, error) {
+	astProg, err := parser.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	semProg, errs := sema.Analyze(astProg)
+	if len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, errors.New(strings.Join(msgs, "\n"))
+	}
+	st := symtab.New()
+	ramProg, err := ast2ram.Translate(semProg, st)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{sem: semProg, ram: ramProg, st: st}, nil
+}
+
+// Optimize runs the RAM optimization passes (constant folding, filter
+// fusion, choice conversion) on the program in place and returns it.
+func (p *Program) Optimize() *Program {
+	ramopt.Optimize(p.ram, p.st, ramopt.All())
+	return p
+}
+
+// MustParse is Parse that panics on error, for examples and tests.
+func MustParse(source string) *Program {
+	p, err := Parse(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RAM renders the program's RAM intermediate representation.
+func (p *Program) RAM() string { return p.ram.String() }
+
+// EmitGo emits the synthesized standalone Go source for the program (see
+// internal/codegen for the toolchain workflow).
+func (p *Program) EmitGo() ([]byte, error) {
+	return codegenEmit(p.ram, p.st)
+}
+
+// Relations lists the program's declared (non-auxiliary) relation names in
+// declaration order.
+func (p *Program) Relations() []string {
+	var out []string
+	for _, r := range p.ram.Relations {
+		if !r.Aux {
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
+// decl finds a source relation declaration.
+func (p *Program) decl(name string) (*ram.Relation, error) {
+	for _, r := range p.ram.Relations {
+		if r.Name == name && !r.Aux {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("sti: unknown relation %q", name)
+}
+
+// --- input ---
+
+// Input carries the extensional database for one run. It converts Go values
+// to the engine's 32-bit words according to each relation's declared
+// attribute types.
+type Input struct {
+	prog *Program
+	mem  *eio.Mem
+	err  error
+}
+
+// NewInput returns an empty input set for the program.
+func (p *Program) NewInput() *Input {
+	return &Input{prog: p, mem: eio.NewMem()}
+}
+
+// Add appends one tuple to relation name. Accepted Go types per attribute:
+// number: int/int32/int64; unsigned: uint/uint32/uint64/int (non-negative);
+// float: float32/float64; symbol: string. The first conversion error is
+// remembered and returned by Err (and by Program.Run).
+func (in *Input) Add(name string, values ...any) *Input {
+	if in.err != nil {
+		return in
+	}
+	decl, err := in.prog.decl(name)
+	if err != nil {
+		in.err = err
+		return in
+	}
+	if len(values) != decl.Arity {
+		in.err = fmt.Errorf("sti: relation %s has arity %d, got %d values", name, decl.Arity, len(values))
+		return in
+	}
+	t := make(tuple.Tuple, decl.Arity)
+	for i, v := range values {
+		w, err := in.prog.encode(decl.Types[i], v)
+		if err != nil {
+			in.err = fmt.Errorf("sti: %s argument %d: %v", name, i, err)
+			return in
+		}
+		t[i] = w
+	}
+	in.mem.Facts[name] = append(in.mem.Facts[name], t)
+	return in
+}
+
+// Err returns the first conversion error, if any.
+func (in *Input) Err() error { return in.err }
+
+func (p *Program) encode(ty value.Type, v any) (value.Value, error) {
+	switch ty {
+	case value.Symbol:
+		s, ok := v.(string)
+		if !ok {
+			return 0, fmt.Errorf("want string, got %T", v)
+		}
+		return p.st.Intern(s), nil
+	case value.Float:
+		switch f := v.(type) {
+		case float32:
+			return value.FromFloat(f), nil
+		case float64:
+			return value.FromFloat(float32(f)), nil
+		}
+		return 0, fmt.Errorf("want float, got %T", v)
+	case value.Unsigned:
+		switch n := v.(type) {
+		case uint:
+			return value.Value(n), nil
+		case uint32:
+			return n, nil
+		case uint64:
+			return value.Value(n), nil
+		case int:
+			if n < 0 {
+				return 0, fmt.Errorf("negative value %d for unsigned attribute", n)
+			}
+			return value.Value(n), nil
+		}
+		return 0, fmt.Errorf("want unsigned, got %T", v)
+	default: // Number
+		switch n := v.(type) {
+		case int:
+			return value.FromInt(int32(n)), nil
+		case int32:
+			return value.FromInt(n), nil
+		case int64:
+			return value.FromInt(int32(n)), nil
+		}
+		return 0, fmt.Errorf("want number, got %T", v)
+	}
+}
+
+func (p *Program) decode(ty value.Type, w value.Value) any {
+	switch ty {
+	case value.Symbol:
+		return p.st.Resolve(w)
+	case value.Float:
+		return value.AsFloat(w)
+	case value.Unsigned:
+		return uint32(w)
+	default:
+		return value.AsInt(w)
+	}
+}
