@@ -4,9 +4,13 @@
 //	sti run program.dl -backend compiled       use the closure compiler
 //	sti ram program.dl                         print the RAM program
 //	sti emit program.dl -o gen/prog            synthesize standalone Go
+//	sti vet examples/ prog.dl                  verify RAM without executing
 //
 // Input relations read <name>.facts (tab-separated) from -F; output
 // relations write <name>.csv to -D; .printsize writes to stdout.
+//
+// All execution modes take -d ramverify (or STI_DEBUG=ramverify) to
+// re-verify the RAM program after every transformation stage.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"sti/internal/ast2ram"
@@ -22,6 +27,7 @@ import (
 	"sti/internal/interp"
 	"sti/internal/parser"
 	"sti/internal/ram"
+	"sti/internal/ram/verify"
 	"sti/internal/ramopt"
 	"sti/internal/sema"
 	"sti/internal/symtab"
@@ -38,8 +44,28 @@ func main() {
 		cmdRAM(os.Args[2:])
 	case "emit":
 		cmdEmit(os.Args[2:])
+	case "vet":
+		cmdVet(os.Args[2:])
 	default:
 		usage()
+	}
+}
+
+// debugFlag registers the shared -d option; each comma- or space-separated
+// name enables one debug facility ("ramverify" arms the RAM verifier at
+// every pipeline stage, "all" enables everything).
+func debugFlag(fs *flag.FlagSet) *string {
+	return fs.String("d", "", "debug facilities to enable, e.g. -d ramverify")
+}
+
+func applyDebug(spec string) {
+	for _, name := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == ' ' }) {
+		switch name {
+		case "ramverify", "all":
+			verify.SetDebug(true)
+		default:
+			fatal(fmt.Errorf("unknown debug facility %q (have: ramverify, all)", name))
+		}
 	}
 }
 
@@ -65,7 +91,7 @@ func parseWithFile(fs *flag.FlagSet, args []string, usageLine string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sti {run|ram|emit} program.dl [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sti {run|ram|emit|vet} program.dl [flags]")
 	os.Exit(2)
 }
 
@@ -112,7 +138,9 @@ func cmdRun(args []string) {
 	jobs := fs.Int("j", 1, "parallel workers for rule evaluation")
 	optimize := fs.Bool("O", false, "run RAM optimization passes (fold constants, fuse filters, choices)")
 	explain := fs.String("explain", "", "after the run, print the derivation of a tuple, e.g. 'path(1,3)'")
+	debug := debugFlag(fs)
 	file := parseWithFile(fs, args, "usage: sti run program.dl [flags]")
+	applyDebug(*debug)
 	prog, st := load(file)
 	if *optimize {
 		ramopt.Optimize(prog, st, ramopt.All())
@@ -158,7 +186,9 @@ func cmdRun(args []string) {
 
 func cmdRAM(args []string) {
 	fs := flag.NewFlagSet("ram", flag.ExitOnError)
+	debug := debugFlag(fs)
 	file := parseWithFile(fs, args, "usage: sti ram program.dl")
+	applyDebug(*debug)
 	prog, _ := load(file)
 	fmt.Print(prog.String())
 }
@@ -168,7 +198,9 @@ func cmdEmit(args []string) {
 	out := fs.String("o", "", "output directory for main.go (default: print to stdout)")
 	build := fs.Bool("build", false, "also compile the emitted program (requires running inside the sti module)")
 	optimize := fs.Bool("O", false, "run RAM optimization passes before emitting")
+	debug := debugFlag(fs)
 	file := parseWithFile(fs, args, "usage: sti emit program.dl [-o dir] [-build]")
+	applyDebug(*debug)
 	prog, st := load(file)
 	if *optimize {
 		ramopt.Optimize(prog, st, ramopt.All())

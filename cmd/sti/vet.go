@@ -1,0 +1,188 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sti/internal/ast2ram"
+	"sti/internal/parser"
+	"sti/internal/ram"
+	"sti/internal/ram/verify"
+	"sti/internal/ramopt"
+	"sti/internal/sema"
+	"sti/internal/symtab"
+)
+
+// cmdVet parses, analyzes, and translates one or more Datalog programs and
+// runs the RAM verifier over the result — without executing anything. It
+// accepts .dl files, Go files with embedded Datalog (backtick literals
+// containing ".decl", the examples/ convention), and directories, which
+// are walked for both. A trailing /... on a directory is accepted and
+// ignored, matching go tool path spelling.
+func cmdVet(args []string) {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	optimize := fs.Bool("O", false, "also verify the program after RAM optimization passes")
+	verbose := fs.Bool("v", false, "report every checked program, not only failures")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sti vet [-O] [-v] path...   (\".dl\" files, Go files with embedded programs, or directories)")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	sources, err := collectSources(fs.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(sources) == 0 {
+		fatal(fmt.Errorf("vet: no Datalog programs found under %s", strings.Join(fs.Args(), " ")))
+	}
+	failed := 0
+	for _, src := range sources {
+		diags, err := vetOne(src.text, *optimize)
+		switch {
+		case err != nil:
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %v\n", src.name, err)
+		case len(diags) > 0:
+			failed++
+			for _, d := range diags {
+				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", src.name, d.stage, d.diag)
+				if d.excerpt != "" {
+					fmt.Fprint(os.Stderr, indentLines(d.excerpt, "    "))
+				}
+			}
+		case *verbose:
+			fmt.Printf("%s: ok\n", src.name)
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "sti vet: %d of %d program(s) failed\n", failed, len(sources))
+		os.Exit(1)
+	}
+}
+
+type vetSource struct {
+	name string // path, plus #n for multi-program files
+	text string
+}
+
+type vetDiag struct {
+	stage   string
+	diag    verify.Diag
+	excerpt string
+}
+
+// vetOne runs one program through the frontend and the verifier, and —
+// with optimize — through the RAM optimizer and the verifier again.
+func vetOne(src string, optimize bool) ([]vetDiag, error) {
+	astProg, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	semProg, errs := sema.Analyze(astProg)
+	if len(errs) > 0 {
+		return nil, errs[0]
+	}
+	st := symtab.New()
+	prog, err := ast2ram.Translate(semProg, st)
+	if err != nil {
+		return nil, err
+	}
+	out := collectDiags(prog, "translate")
+	if optimize && len(out) == 0 {
+		ramopt.Optimize(prog, st, ramopt.All())
+		out = append(out, collectDiags(prog, "optimize")...)
+	}
+	return out, nil
+}
+
+func collectDiags(prog *ram.Program, stage string) []vetDiag {
+	var out []vetDiag
+	for _, d := range verify.Program(prog) {
+		out = append(out, vetDiag{stage: stage, diag: d, excerpt: verify.Excerpt(prog, d)})
+	}
+	return out
+}
+
+// collectSources expands the argument list into Datalog program texts.
+func collectSources(args []string) ([]vetSource, error) {
+	var out []vetSource
+	for _, arg := range args {
+		arg = strings.TrimSuffix(strings.TrimSuffix(arg, "..."), string(filepath.Separator)+"...")
+		arg = strings.TrimSuffix(arg, "/...")
+		info, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			srcs, err := fileSources(arg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, srcs...)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			switch filepath.Ext(path) {
+			case ".dl", ".go":
+				srcs, err := fileSources(path)
+				if err != nil {
+					return err
+				}
+				out = append(out, srcs...)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// fileSources reads one file: a .dl file is one program; a Go file yields
+// every backtick raw string literal containing ".decl". Go files without
+// embedded programs are skipped silently so directories can be walked.
+func fileSources(path string) ([]vetSource, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if filepath.Ext(path) != ".go" {
+		return []vetSource{{name: path, text: string(data)}}, nil
+	}
+	// Raw string literals cannot contain backticks, so splitting on them
+	// alternates code and literal contents exactly.
+	parts := strings.Split(string(data), "`")
+	var out []vetSource
+	for i := 1; i < len(parts); i += 2 {
+		if !strings.Contains(parts[i], ".decl") {
+			continue
+		}
+		name := path
+		if len(out) > 0 || strings.Count(string(data), ".decl") > strings.Count(parts[i], ".decl") {
+			name = fmt.Sprintf("%s#%d", path, len(out))
+		}
+		out = append(out, vetSource{name: name, text: parts[i]})
+	}
+	return out, nil
+}
+
+func indentLines(s, prefix string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString(prefix)
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

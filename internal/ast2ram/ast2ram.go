@@ -14,6 +14,7 @@ import (
 	"sti/internal/ast"
 	"sti/internal/indexselect"
 	"sti/internal/ram"
+	"sti/internal/ram/verify"
 	"sti/internal/sema"
 	"sti/internal/symtab"
 )
@@ -42,6 +43,13 @@ func Translate(p *sema.Program, st *symtab.Table) (*ram.Program, error) {
 	}
 	if err := t.run(); err != nil {
 		return nil, err
+	}
+	// In ramverify debug mode the translator checks its own output, so a
+	// translation bug surfaces here instead of as a wrong fixpoint.
+	if verify.Debugging() {
+		if err := verify.Check(t.out, "ast2ram"); err != nil {
+			return nil, err
+		}
 	}
 	return t.out, nil
 }

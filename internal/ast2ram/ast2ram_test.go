@@ -6,11 +6,21 @@ import (
 
 	"sti/internal/parser"
 	"sti/internal/ram"
+	"sti/internal/ram/verify"
 	"sti/internal/sema"
 	"sti/internal/symtab"
 )
 
+// translate runs src through parse→sema→Translate and verifies the RAM
+// output, so every fixture in this file doubles as a verifier corpus
+// entry.
 func translate(t *testing.T, src string) *ram.Program {
+	t.Helper()
+	rp, _ := translateVerified(t, src)
+	return rp
+}
+
+func translateVerified(t *testing.T, src string) (*ram.Program, *symtab.Table) {
 	t.Helper()
 	p, err := parser.Parse(src)
 	if err != nil {
@@ -20,11 +30,15 @@ func translate(t *testing.T, src string) *ram.Program {
 	if len(errs) > 0 {
 		t.Fatalf("sema: %v", errs)
 	}
-	rp, err := Translate(an, symtab.New())
+	st := symtab.New()
+	rp, err := Translate(an, st)
 	if err != nil {
 		t.Fatalf("translate: %v", err)
 	}
-	return rp
+	if err := verify.Check(rp, "ast2ram"); err != nil {
+		t.Fatalf("translated program fails verification: %v", err)
+	}
+	return rp, st
 }
 
 const tcSrc = `
@@ -85,13 +99,15 @@ func TestIndexSelectionOrders(t *testing.T) {
 	}
 }
 
-func TestSecondColumnSearchGetsOrder(t *testing.T) {
-	rp := translate(t, `
+const secondColSrc = `
 .decl e(x:number, y:number)
 .decl r(x:number)
 .decl s(x:number)
 r(x) :- s(y), e(x, y).
-`)
+`
+
+func TestSecondColumnSearchGetsOrder(t *testing.T) {
+	rp := translate(t, secondColSrc)
 	var e *ram.Relation
 	for _, r := range rp.Relations {
 		if r.Name == "e" {
@@ -103,13 +119,15 @@ r(x) :- s(y), e(x, y).
 	}
 }
 
-func TestNegationBecomesExistenceCheck(t *testing.T) {
-	rp := translate(t, `
+const negationSrc = `
 .decl a(x:number)
 .decl b(x:number)
 .decl c(x:number)
 c(x) :- a(x), !b(x).
-`)
+`
+
+func TestNegationBecomesExistenceCheck(t *testing.T) {
+	rp := translate(t, negationSrc)
 	text := rp.String()
 	if !strings.Contains(text, "NOT ((0=t0.0) IN b)") {
 		t.Fatalf("negation lowering:\n%s", text)
@@ -125,37 +143,43 @@ func TestGuardOnRecursiveInsert(t *testing.T) {
 	}
 }
 
-func TestFactsProject(t *testing.T) {
-	rp := translate(t, `
+const factsSrc = `
 .decl p(x:number, s:symbol)
 p(1, "a").
 p(2, "b").
-`)
+`
+
+func TestFactsProject(t *testing.T) {
+	rp := translate(t, factsSrc)
 	text := rp.String()
 	if strings.Count(text, "INSERT") != 2 {
 		t.Fatalf("fact inserts:\n%s", text)
 	}
 }
 
-func TestAggregateLowering(t *testing.T) {
-	rp := translate(t, `
+const aggregateSrc = `
 .decl e(x:number, y:number)
 .decl out(x:number, n:number)
 out(x, n) :- e(x, _), n = count : { e(x, _) }.
-`)
+`
+
+func TestAggregateLowering(t *testing.T) {
+	rp := translate(t, aggregateSrc)
 	text := rp.String()
 	if !strings.Contains(text, "count") {
 		t.Fatalf("no aggregate node:\n%s", text)
 	}
 }
 
-func TestEqrelNonPrefixFallsBackToScan(t *testing.T) {
-	rp := translate(t, `
+const eqrelSrc = `
 .decl eq(x:number, y:number) eqrel
 .decl s(x:number)
 .decl out(x:number)
 out(x) :- s(y), eq(x, y).
-`)
+`
+
+func TestEqrelNonPrefixFallsBackToScan(t *testing.T) {
+	rp := translate(t, eqrelSrc)
 	text := rp.String()
 	// The eq atom binds only column 1: must be a full scan plus filter.
 	if !strings.Contains(text, "FOR t1 IN eq\n") {
@@ -163,8 +187,7 @@ out(x) :- s(y), eq(x, y).
 	}
 }
 
-func TestMutualRecursionLoopsOnce(t *testing.T) {
-	rp := translate(t, `
+const mutualSrc = `
 .decl seed(x:number)
 .decl a(x:number)
 .decl b(x:number)
@@ -172,7 +195,10 @@ seed(1).
 a(x) :- seed(x).
 a(x) :- b(x).
 b(x) :- a(x), x < 10.
-`)
+`
+
+func TestMutualRecursionLoopsOnce(t *testing.T) {
+	rp := translate(t, mutualSrc)
 	text := rp.String()
 	if strings.Count(text, "END LOOP") != 1 {
 		t.Fatalf("expected one fixpoint loop:\n%s", text)

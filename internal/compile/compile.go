@@ -18,6 +18,7 @@ import (
 
 	"sti/internal/eio"
 	"sti/internal/ram"
+	"sti/internal/ram/verify"
 	"sti/internal/relation"
 	"sti/internal/rtl"
 	"sti/internal/symtab"
@@ -97,6 +98,11 @@ type value32 = uint32
 // generation (the C++ compile time is modelled separately by
 // internal/codegen).
 func New(prog *ram.Program, st *symtab.Table) *Machine {
+	if verify.Debugging() {
+		if err := verify.Check(prog, "compile.New"); err != nil {
+			panic(err)
+		}
+	}
 	m := &Machine{
 		prog:       prog,
 		st:         st,

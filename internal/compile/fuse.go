@@ -2,6 +2,7 @@ package compile
 
 import (
 	"sti/internal/ram"
+	"sti/internal/ram/verify"
 	"sti/internal/symtab"
 	"sti/internal/tuple"
 )
@@ -18,6 +19,19 @@ import (
 func CompileCondition(cond ram.Condition, st *symtab.Table, coords map[int32]tuple.Order) (func([]tuple.Tuple) bool, bool) {
 	if !fusible(cond) {
 		return nil, false
+	}
+	// In ramverify debug mode, check the condition against the (partial)
+	// tuple scope before compiling: a fused closure with an out-of-bounds
+	// element read would otherwise fail as a silent wrong answer or an
+	// index panic mid-fixpoint.
+	if verify.Debugging() {
+		arities := make(map[int]int, len(coords))
+		for tid, order := range coords {
+			arities[int(tid)] = len(order)
+		}
+		if diags := verify.FusedCondition(cond, arities); len(diags) > 0 {
+			panic(&verify.Error{Stage: "compile.CompileCondition", Diags: diags})
+		}
 	}
 	c := &compiler{m: &Machine{st: st}, coords: map[int32]tuple.Order{}}
 	for k, v := range coords {

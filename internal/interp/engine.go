@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"sti/internal/ram"
+	"sti/internal/ram/verify"
 	"sti/internal/relation"
 	"sti/internal/rtl"
 	"sti/internal/symtab"
@@ -27,6 +28,11 @@ type Engine struct {
 // cost is deliberately part of the measured interpreter runtime in the
 // benchmarks, as in the paper.
 func New(prog *ram.Program, st *symtab.Table, cfg Config) *Engine {
+	if verify.Debugging() {
+		if err := verify.Check(prog, "interp.New"); err != nil {
+			panic(err)
+		}
+	}
 	cfg = cfg.normalize()
 	e := &Engine{prog: prog, cfg: cfg, st: st}
 	for _, rd := range prog.Relations {

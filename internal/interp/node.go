@@ -179,4 +179,3 @@ func (n *inode) shadowRAM() ram.Statement {
 	}
 	return nil
 }
-

@@ -167,4 +167,3 @@ func (e *Engine) explain(relID int, t tuple.Tuple, memo map[string]*Proof) *Proo
 	}
 	return p
 }
-

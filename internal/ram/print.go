@@ -7,114 +7,184 @@ import (
 
 // String renders the program in the textual style of the paper's Fig 3.
 func (p *Program) String() string {
-	var b strings.Builder
-	for _, r := range p.Relations {
-		fmt.Fprintf(&b, "DECL %s arity=%d rep=%s orders=%v", r.Name, r.Arity, r.Rep, r.Orders)
+	pr := &printer{}
+	pr.program(p)
+	return pr.b.String()
+}
+
+// MarkedString renders the program like String, but with a three-column
+// gutter on every line; lines whose node is (or contains) mark carry a
+// ">> " marker. mark may be a *Relation, Statement, Operation, Condition,
+// or Expr that appears in p. The verifier uses this to point at the
+// offending node of a diagnostic.
+func (p *Program) MarkedString(mark any) string {
+	pr := &printer{mark: mark, gutter: true}
+	pr.program(p)
+	return pr.b.String()
+}
+
+// printer renders a program line by line. When gutter is set, each line is
+// prefixed with ">> " or "   " depending on whether any of the nodes the
+// line renders equals — or, for conditions and expressions, contains — the
+// marked node.
+type printer struct {
+	b      strings.Builder
+	mark   any
+	gutter bool
+}
+
+// line emits one output line at the given depth. nodes lists the RAM nodes
+// rendered on this line, for mark matching.
+func (p *printer) line(depth int, nodes []any, format string, args ...any) {
+	if p.gutter {
+		hit := false
+		for _, n := range nodes {
+			if nodeContains(n, p.mark) {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			p.b.WriteString(">> ")
+		} else {
+			p.b.WriteString("   ")
+		}
+	}
+	for i := 0; i < depth; i++ {
+		p.b.WriteString("  ")
+	}
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+// nodeContains reports whether n is mark or, for condition/expression
+// trees (which render inline on their parent's line), contains mark.
+func nodeContains(n, mark any) bool {
+	if n == nil || mark == nil {
+		return false
+	}
+	if n == mark {
+		return true
+	}
+	switch n := n.(type) {
+	case *And:
+		return nodeContains(n.L, mark) || nodeContains(n.R, mark)
+	case *Not:
+		return nodeContains(n.C, mark)
+	case *ExistenceCheck:
+		for _, e := range n.Pattern {
+			if e != nil && nodeContains(e, mark) {
+				return true
+			}
+		}
+	case *Constraint:
+		return nodeContains(n.L, mark) || nodeContains(n.R, mark)
+	case *Intrinsic:
+		for _, a := range n.Args {
+			if nodeContains(a, mark) {
+				return true
+			}
+		}
+	case []Expr:
+		for _, e := range n {
+			if e != nil && nodeContains(e, mark) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (p *printer) program(prog *Program) {
+	for _, r := range prog.Relations {
+		var flags strings.Builder
 		if r.Input {
-			b.WriteString(" input")
+			flags.WriteString(" input")
 		}
 		if r.Output {
-			b.WriteString(" output")
+			flags.WriteString(" output")
 		}
 		if r.PrintSize {
-			b.WriteString(" printsize")
+			flags.WriteString(" printsize")
 		}
-		b.WriteByte('\n')
+		p.line(0, []any{r}, "DECL %s arity=%d rep=%s orders=%v%s",
+			r.Name, r.Arity, r.Rep, r.Orders, flags.String())
 	}
-	printStmt(&b, p.Main, 0)
-	return b.String()
+	p.stmt(prog.Main, 0)
 }
 
-func ind(b *strings.Builder, depth int) {
-	for i := 0; i < depth; i++ {
-		b.WriteString("  ")
-	}
-}
-
-func printStmt(b *strings.Builder, s Statement, depth int) {
+func (p *printer) stmt(s Statement, depth int) {
 	switch s := s.(type) {
 	case *Sequence:
 		for _, st := range s.Stmts {
-			printStmt(b, st, depth)
+			p.stmt(st, depth)
 		}
 	case *Loop:
-		ind(b, depth)
-		b.WriteString("LOOP\n")
-		printStmt(b, s.Body, depth+1)
-		ind(b, depth)
-		b.WriteString("END LOOP\n")
+		p.line(depth, []any{s}, "LOOP")
+		p.stmt(s.Body, depth+1)
+		p.line(depth, []any{s}, "END LOOP")
 	case *Exit:
-		ind(b, depth)
-		fmt.Fprintf(b, "EXIT (%s)\n", CondString(s.Cond))
+		p.line(depth, []any{s, s.Cond}, "EXIT (%s)", CondString(s.Cond))
 	case *Query:
-		ind(b, depth)
 		label := s.Label
 		if label == "" {
 			label = fmt.Sprintf("rule#%d", s.RuleID)
 		}
-		fmt.Fprintf(b, "QUERY %s\n", label)
-		printOp(b, s.Root, depth+1)
+		p.line(depth, []any{s}, "QUERY %s", label)
+		p.op(s.Root, depth+1)
 	case *Clear:
-		ind(b, depth)
-		fmt.Fprintf(b, "CLEAR %s\n", s.Rel.Name)
+		p.line(depth, []any{s}, "CLEAR %s", relName(s.Rel))
 	case *Swap:
-		ind(b, depth)
-		fmt.Fprintf(b, "SWAP (%s, %s)\n", s.A.Name, s.B.Name)
+		p.line(depth, []any{s}, "SWAP (%s, %s)", relName(s.A), relName(s.B))
 	case *Merge:
-		ind(b, depth)
-		fmt.Fprintf(b, "MERGE %s INTO %s\n", s.Src.Name, s.Dst.Name)
+		p.line(depth, []any{s}, "MERGE %s INTO %s", relName(s.Src), relName(s.Dst))
 	case *IO:
-		ind(b, depth)
 		switch s.Kind {
 		case IOLoad:
-			fmt.Fprintf(b, "LOAD %s\n", s.Rel.Name)
+			p.line(depth, []any{s}, "LOAD %s", relName(s.Rel))
 		case IOStore:
-			fmt.Fprintf(b, "STORE %s\n", s.Rel.Name)
+			p.line(depth, []any{s}, "STORE %s", relName(s.Rel))
 		default:
-			fmt.Fprintf(b, "PRINTSIZE %s\n", s.Rel.Name)
+			p.line(depth, []any{s}, "PRINTSIZE %s", relName(s.Rel))
 		}
 	case *LogTimer:
-		ind(b, depth)
-		fmt.Fprintf(b, "TIMER %q\n", s.Label)
-		printStmt(b, s.Stmt, depth+1)
+		p.line(depth, []any{s}, "TIMER %q", s.Label)
+		p.stmt(s.Stmt, depth+1)
+	case nil:
+		p.line(depth, nil, "<nil statement>")
 	default:
-		ind(b, depth)
-		fmt.Fprintf(b, "<%T>\n", s)
+		p.line(depth, []any{s}, "<%T>", s)
 	}
 }
 
-func printOp(b *strings.Builder, o Operation, depth int) {
+func (p *printer) op(o Operation, depth int) {
 	switch o := o.(type) {
 	case *Scan:
-		ind(b, depth)
-		fmt.Fprintf(b, "FOR t%d IN %s\n", o.TupleID, o.Rel.Name)
-		printOp(b, o.Nested, depth+1)
+		p.line(depth, []any{o}, "FOR t%d IN %s", o.TupleID, relName(o.Rel))
+		p.op(o.Nested, depth+1)
 	case *IndexScan:
-		ind(b, depth)
-		fmt.Fprintf(b, "FOR t%d IN %s ON INDEX %s\n", o.TupleID, o.Rel.Name, patternString(o.Pattern))
-		printOp(b, o.Nested, depth+1)
+		p.line(depth, []any{o, o.Pattern}, "FOR t%d IN %s ON INDEX %s",
+			o.TupleID, relName(o.Rel), patternString(o.Pattern))
+		p.op(o.Nested, depth+1)
 	case *Choice:
-		ind(b, depth)
-		fmt.Fprintf(b, "CHOICE t%d IN %s WHERE %s\n", o.TupleID, o.Rel.Name, CondString(o.Cond))
-		printOp(b, o.Nested, depth+1)
+		p.line(depth, []any{o, o.Cond}, "CHOICE t%d IN %s WHERE %s",
+			o.TupleID, relName(o.Rel), CondString(o.Cond))
+		p.op(o.Nested, depth+1)
 	case *IndexChoice:
-		ind(b, depth)
-		fmt.Fprintf(b, "CHOICE t%d IN %s ON INDEX %s WHERE %s\n",
-			o.TupleID, o.Rel.Name, patternString(o.Pattern), CondString(o.Cond))
-		printOp(b, o.Nested, depth+1)
+		p.line(depth, []any{o, o.Pattern, o.Cond}, "CHOICE t%d IN %s ON INDEX %s WHERE %s",
+			o.TupleID, relName(o.Rel), patternString(o.Pattern), CondString(o.Cond))
+		p.op(o.Nested, depth+1)
 	case *Filter:
-		ind(b, depth)
-		fmt.Fprintf(b, "IF (%s)\n", CondString(o.Cond))
-		printOp(b, o.Nested, depth+1)
+		p.line(depth, []any{o, o.Cond}, "IF (%s)", CondString(o.Cond))
+		p.op(o.Nested, depth+1)
 	case *Project:
-		ind(b, depth)
 		exprs := make([]string, len(o.Exprs))
 		for i, e := range o.Exprs {
 			exprs[i] = ExprString(e)
 		}
-		fmt.Fprintf(b, "INSERT (%s) INTO %s\n", strings.Join(exprs, ", "), o.Rel.Name)
+		p.line(depth, []any{o, o.Exprs}, "INSERT (%s) INTO %s",
+			strings.Join(exprs, ", "), relName(o.Rel))
 	case *Aggregate:
-		ind(b, depth)
 		target := ""
 		if o.Target != nil {
 			target = " " + ExprString(o.Target)
@@ -123,13 +193,23 @@ func printOp(b *strings.Builder, o Operation, depth int) {
 		if o.Cond != nil {
 			cond = " WHERE " + CondString(o.Cond)
 		}
-		fmt.Fprintf(b, "t%d = %s%s IN %s ON INDEX %s%s\n",
-			o.TupleID, o.Kind, target, o.Rel.Name, patternString(o.Pattern), cond)
-		printOp(b, o.Nested, depth+1)
+		p.line(depth, []any{o, o.Pattern, o.Cond, o.Target}, "t%d = %s%s IN %s ON INDEX %s%s",
+			o.TupleID, o.Kind, target, relName(o.Rel), patternString(o.Pattern), cond)
+		p.op(o.Nested, depth+1)
+	case nil:
+		p.line(depth, nil, "<nil operation>")
 	default:
-		ind(b, depth)
-		fmt.Fprintf(b, "<%T>\n", o)
+		p.line(depth, []any{o}, "<%T>", o)
 	}
+}
+
+// relName tolerates nil relation pointers so that malformed programs can
+// still be rendered for diagnostics.
+func relName(r *Relation) string {
+	if r == nil {
+		return "<nil relation>"
+	}
+	return r.Name
 }
 
 func patternString(pattern []Expr) string {
@@ -153,11 +233,13 @@ func CondString(c Condition) string {
 	case *Not:
 		return "NOT (" + CondString(c.C) + ")"
 	case *EmptinessCheck:
-		return c.Rel.Name + " = EMPTY"
+		return relName(c.Rel) + " = EMPTY"
 	case *ExistenceCheck:
-		return "(" + patternString(c.Pattern) + ") IN " + c.Rel.Name
+		return "(" + patternString(c.Pattern) + ") IN " + relName(c.Rel)
 	case *Constraint:
 		return fmt.Sprintf("%s %s:%s %s", ExprString(c.L), c.Op, c.Type, ExprString(c.R))
+	case nil:
+		return "<nil>"
 	default:
 		return fmt.Sprintf("<%T>", c)
 	}
@@ -176,6 +258,8 @@ func ExprString(e Expr) string {
 			args[i] = ExprString(a)
 		}
 		return fmt.Sprintf("%s:%s(%s)", e.Op, e.Type, strings.Join(args, ", "))
+	case nil:
+		return "<nil>"
 	default:
 		return fmt.Sprintf("<%T>", e)
 	}

@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"os"
+	"strings"
+	"sync/atomic"
+
+	"sti/internal/ram"
+)
+
+// The ramverify debug mode makes every pipeline stage re-verify its output:
+// ast2ram after translation, ramopt after optimization, condition fusion
+// before compiling, and each backend once at load. It is enabled by the
+// `-d ramverify` CLI option (see cmd/sti), programmatically via SetDebug,
+// or by listing "ramverify" (or "all") in the STI_DEBUG environment
+// variable, e.g. STI_DEBUG=ramverify go test ./...
+var debug atomic.Bool
+
+func init() {
+	for _, tok := range strings.FieldsFunc(os.Getenv("STI_DEBUG"), func(r rune) bool {
+		return r == ',' || r == ' '
+	}) {
+		if tok == "ramverify" || tok == "all" {
+			debug.Store(true)
+		}
+	}
+}
+
+// SetDebug switches the ramverify debug mode on or off.
+func SetDebug(on bool) { debug.Store(on) }
+
+// Debugging reports whether the ramverify debug mode is on.
+func Debugging() bool { return debug.Load() }
+
+// excerptContext is the number of program lines shown on each side of a
+// marked line.
+const excerptContext = 3
+
+// Excerpt renders the lines of p around d.Node, with the offending line(s)
+// marked ">> " in the gutter, in the style of a compiler caret diagnostic.
+// It returns "" when d.Node is nil or does not occur in p.
+func Excerpt(p *ram.Program, d Diag) string {
+	if p == nil || d.Node == nil {
+		return ""
+	}
+	lines := strings.Split(strings.TrimRight(p.MarkedString(d.Node), "\n"), "\n")
+	keep := make([]bool, len(lines))
+	any := false
+	for i, l := range lines {
+		if strings.HasPrefix(l, ">> ") {
+			any = true
+			for j := i - excerptContext; j <= i+excerptContext; j++ {
+				if j >= 0 && j < len(lines) {
+					keep[j] = true
+				}
+			}
+		}
+	}
+	if !any {
+		return ""
+	}
+	var b strings.Builder
+	elided := false
+	for i, l := range lines {
+		if !keep[i] {
+			elided = true
+			continue
+		}
+		if elided && b.Len() > 0 {
+			b.WriteString("   ...\n")
+		}
+		elided = false
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

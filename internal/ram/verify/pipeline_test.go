@@ -1,0 +1,242 @@
+package verify_test
+
+// Pipeline invariant test: every embedded example program and every
+// fixture the ast2ram tests exercise is pushed through
+// translate → ramopt → condition fusion, and the RAM program is verified
+// after each stage. Any rewrite that breaks a structural invariant fails
+// here with a marked excerpt instead of as a wrong fixpoint at runtime.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sti/internal/ast2ram"
+	"sti/internal/compile"
+	"sti/internal/parser"
+	"sti/internal/ram"
+	"sti/internal/ram/verify"
+	"sti/internal/ramopt"
+	"sti/internal/sema"
+	"sti/internal/symtab"
+	"sti/internal/tuple"
+)
+
+// fixtureSrcs mirrors the translation fixtures of internal/ast2ram's tests
+// (which independently verify their own outputs through the shared
+// translate helper) so the full pipeline corpus lives in one place.
+var fixtureSrcs = map[string]string{
+	"transitive-closure": `
+.decl edge(x:number, y:number)
+.decl path(x:number, y:number)
+.input edge
+.output path
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+`,
+	"second-column-search": `
+.decl e(x:number, y:number)
+.decl r(x:number)
+.decl s(x:number)
+r(x) :- s(y), e(x, y).
+`,
+	"negation": `
+.decl a(x:number)
+.decl b(x:number)
+.decl c(x:number)
+c(x) :- a(x), !b(x).
+`,
+	"facts": `
+.decl p(x:number, s:symbol)
+p(1, "a").
+p(2, "b").
+`,
+	"aggregate": `
+.decl e(x:number, y:number)
+.decl out(x:number, n:number)
+out(x, n) :- e(x, _), n = count : { e(x, _) }.
+`,
+	"eqrel-non-prefix": `
+.decl eq(x:number, y:number) eqrel
+.decl s(x:number)
+.decl out(x:number)
+out(x) :- s(y), eq(x, y).
+`,
+	"mutual-recursion": `
+.decl seed(x:number)
+.decl a(x:number)
+.decl b(x:number)
+seed(1).
+a(x) :- seed(x).
+a(x) :- b(x).
+b(x) :- a(x), x < 10.
+`,
+	"constant-folding": `
+.decl out(x:number, s:symbol)
+out(1 + 2 * 3, cat("a", "b")).
+out(x + 1, "c") :- out(x, _), x < 3 + 4.
+`,
+}
+
+// optimizerConfigs enumerates the single passes plus the full pipeline.
+var optimizerConfigs = []struct {
+	name string
+	opts ramopt.Options
+}{
+	{"fold", ramopt.Options{FoldConstants: true}},
+	{"fuse-filters", ramopt.Options{FuseFilters: true}},
+	{"choices", ramopt.Options{Choices: true}},
+	{"all", ramopt.All()},
+}
+
+func TestPipelineInvariants(t *testing.T) {
+	for name, src := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, cfg := range optimizerConfigs {
+				prog, st := translate(t, src)
+				if err := verify.Check(prog, "ast2ram"); err != nil {
+					t.Fatalf("after translate: %v", err)
+				}
+				ramopt.Optimize(prog, st, cfg.opts)
+				if err := verify.Check(prog, "ramopt/"+cfg.name); err != nil {
+					t.Fatalf("after ramopt %s: %v", cfg.name, err)
+				}
+				fuseAll(t, prog, st)
+				if err := verify.Check(prog, "fuse/"+cfg.name); err != nil {
+					t.Fatalf("after fusion under ramopt %s: %v", cfg.name, err)
+				}
+			}
+		})
+	}
+}
+
+// corpus gathers the fixture programs plus every program embedded in
+// examples/*/main.go.
+func corpus(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for name, src := range fixtureSrcs {
+		out["fixture/"+name] = src
+	}
+	dirs, err := filepath.Glob(filepath.Join("..", "..", "..", "examples", "*", "main.go"))
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no examples found: %v", err)
+	}
+	for _, path := range dirs {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs := embeddedPrograms(string(data))
+		if len(progs) == 0 {
+			t.Fatalf("%s embeds no Datalog program", path)
+		}
+		for i, src := range progs {
+			name := "example/" + filepath.Base(filepath.Dir(path))
+			if len(progs) > 1 {
+				name = fmt.Sprintf("%s#%d", name, i)
+			}
+			out[name] = src
+		}
+	}
+	return out
+}
+
+// embeddedPrograms extracts Datalog sources from Go raw string literals.
+// Backticks cannot be escaped inside raw literals, so splitting on them
+// alternates code and literal contents exactly.
+func embeddedPrograms(goSrc string) []string {
+	parts := strings.Split(goSrc, "`")
+	var out []string
+	for i := 1; i < len(parts); i += 2 {
+		if strings.Contains(parts[i], ".decl") {
+			out = append(out, parts[i])
+		}
+	}
+	return out
+}
+
+func translate(t *testing.T, src string) (*ram.Program, *symtab.Table) {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	an, errs := sema.Analyze(p)
+	if len(errs) > 0 {
+		t.Fatalf("sema: %v", errs)
+	}
+	st := symtab.New()
+	prog, err := ast2ram.Translate(an, st)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	return prog, st
+}
+
+// fuseAll compiles every fusible condition in the program the way the
+// interpreter's FusedFilters mode does, with every bound tuple in identity
+// coordinates, and checks that fusion accepts them and leaves the program
+// intact (the post-call verify in the caller catches mutations).
+func fuseAll(t *testing.T, prog *ram.Program, st *symtab.Table) {
+	t.Helper()
+	var walk func(o ram.Operation, coords map[int32]tuple.Order)
+	fuse := func(cond ram.Condition, coords map[int32]tuple.Order) {
+		if cond == nil || !compile.Fusible(cond) {
+			return
+		}
+		if _, ok := compile.CompileCondition(cond, st, coords); !ok {
+			t.Fatalf("fusible condition rejected by CompileCondition: %s", ram.CondString(cond))
+		}
+	}
+	bind := func(coords map[int32]tuple.Order, tid, arity int) map[int32]tuple.Order {
+		n := make(map[int32]tuple.Order, len(coords)+1)
+		for k, v := range coords {
+			n[k] = v
+		}
+		n[int32(tid)] = tuple.Identity(arity)
+		return n
+	}
+	walk = func(o ram.Operation, coords map[int32]tuple.Order) {
+		switch o := o.(type) {
+		case *ram.Scan:
+			walk(o.Nested, bind(coords, o.TupleID, o.Rel.Arity))
+		case *ram.IndexScan:
+			walk(o.Nested, bind(coords, o.TupleID, o.Rel.Arity))
+		case *ram.Choice:
+			inner := bind(coords, o.TupleID, o.Rel.Arity)
+			fuse(o.Cond, inner)
+			walk(o.Nested, inner)
+		case *ram.IndexChoice:
+			inner := bind(coords, o.TupleID, o.Rel.Arity)
+			fuse(o.Cond, inner)
+			walk(o.Nested, inner)
+		case *ram.Filter:
+			fuse(o.Cond, coords)
+			walk(o.Nested, coords)
+		case *ram.Aggregate:
+			inner := bind(coords, o.TupleID, o.Rel.Arity)
+			fuse(o.Cond, inner)
+			walk(o.Nested, bind(coords, o.TupleID, 1))
+		case *ram.Project:
+		}
+	}
+	var stmts func(s ram.Statement)
+	stmts = func(s ram.Statement) {
+		switch s := s.(type) {
+		case *ram.Sequence:
+			for _, st := range s.Stmts {
+				stmts(st)
+			}
+		case *ram.Loop:
+			stmts(s.Body)
+		case *ram.LogTimer:
+			stmts(s.Stmt)
+		case *ram.Query:
+			walk(s.Root, map[int32]tuple.Order{})
+		}
+	}
+	stmts(prog.Main)
+}

@@ -19,6 +19,7 @@ package ramopt
 
 import (
 	"sti/internal/ram"
+	"sti/internal/ram/verify"
 	"sti/internal/rtl"
 	"sti/internal/symtab"
 	"sti/internal/value"
@@ -36,10 +37,18 @@ func All() Options {
 	return Options{FoldConstants: true, FuseFilters: true, Choices: true}
 }
 
-// Optimize rewrites the program in place.
+// Optimize rewrites the program in place. In ramverify debug mode the
+// rewritten program is re-verified and a violated invariant panics with a
+// *verify.Error naming the offending node — an optimizer bug is a
+// programming error, not a user error.
 func Optimize(p *ram.Program, st *symtab.Table, opts Options) {
 	o := &optimizer{st: st, opts: opts}
 	p.Main = o.stmt(p.Main)
+	if verify.Debugging() {
+		if err := verify.Check(p, "ramopt"); err != nil {
+			panic(err)
+		}
+	}
 }
 
 type optimizer struct {
