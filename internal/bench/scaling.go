@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+)
+
+// TCWorkload generates the transitive-closure workload of the worker-scaling
+// experiment: a dense random graph whose closure is insert-dominated, so
+// throughput tracks how well parallel inserts scale. TC is the canonical
+// recursive benchmark and the one workload where the staging-buffer merge
+// discipline is stressed hardest (most tuples per scan iteration).
+func TCWorkload(scale Scale) *Workload {
+	n := []int{220, 500, 900}[scale]
+	m := 3 * n
+	src := `
+.decl edge(x:number, y:number)
+.decl path(x:number, y:number)
+.input edge
+.printsize path
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+`
+	rng := rand.New(rand.NewSource(42))
+	facts := map[string][]tupleT{}
+	for _, e := range randGraph(rng, n, m, false) {
+		facts["edge"] = append(facts["edge"], tupleT{num(e[0]), num(e[1])})
+	}
+	return &Workload{
+		Suite: "Scaling",
+		Name:  fmt.Sprintf("tc-%d", n),
+		Src:   src,
+		Facts: facts,
+	}
+}
+
+// ScalingWorkloads is the worker-scaling benchmark set: the TC workload
+// plus the Table 1 suite, so the scaling numbers cover both the
+// insert-dominated extreme and the paper's realistic load profiles.
+func ScalingWorkloads(scale Scale) []*Workload {
+	return append([]*Workload{TCWorkload(scale)}, Table1Suite()...)
+}
+
+// ScalingWorkerCounts is the worker axis of the scaling benchmark:
+// 1, 2, 4, and all CPUs, de-duplicated and ordered.
+func ScalingWorkerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}

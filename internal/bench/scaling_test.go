@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"sti/internal/interp"
+)
+
+// BenchmarkParallelScaling measures end-to-end evaluation throughput
+// (tuples/s across all relations, engine construction included) for each
+// scaling workload at 1, 2, 4, and NumCPU workers. Compare the tuples/s
+// metric across the workers axis of one workload to read the speedup.
+//
+//	go test ./internal/bench -run xxx -bench ParallelScaling
+func BenchmarkParallelScaling(b *testing.B) {
+	for _, wl := range ScalingWorkloads(Small) {
+		rp, st, err := wl.Compile()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range ScalingWorkerCounts() {
+			b.Run(fmt.Sprintf("%s/workers=%d", wl.FullName(), workers), func(b *testing.B) {
+				cfg := interp.DefaultConfig()
+				cfg.Workers = workers
+				tuples := 0
+				for i := 0; i < b.N; i++ {
+					eng := interp.New(rp, st, cfg)
+					if err := eng.Run(wl.NewIO()); err != nil {
+						b.Fatal(err)
+					}
+					tuples = eng.TotalTuples()
+				}
+				b.ReportMetric(float64(tuples)*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+			})
+		}
+	}
+}
+
+// TestScalingWorkloads keeps the benchmark inputs well-formed: workloads
+// compile, run, and the worker axis starts at 1 (the serial baseline).
+func TestScalingWorkloads(t *testing.T) {
+	counts := ScalingWorkerCounts()
+	if counts[0] != 1 {
+		t.Fatalf("worker counts %v do not start at the serial baseline", counts)
+	}
+	seen := map[int]bool{}
+	for _, c := range counts {
+		if seen[c] {
+			t.Fatalf("duplicate worker count in %v", counts)
+		}
+		seen[c] = true
+	}
+	wl := TCWorkload(Small)
+	rp, st, err := wl.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := interp.DefaultConfig()
+	cfg.Workers = 4
+	eng := interp.New(rp, st, cfg)
+	if err := eng.Run(wl.NewIO()); err != nil {
+		t.Fatal(err)
+	}
+	if eng.TotalTuples() == 0 {
+		t.Fatal("TC workload produced no tuples")
+	}
+	path := eng.Relation("path")
+	if path == nil || path.Size() <= len(wl.Facts["edge"]) {
+		t.Fatalf("closure did not grow: path %v vs %d edges", path, len(wl.Facts["edge"]))
+	}
+}

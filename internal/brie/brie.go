@@ -198,6 +198,19 @@ func (t *Trie) Insert(tup []value.Value) bool {
 	return false
 }
 
+// InsertAll adds tuples packed back to back in flat (len a multiple of the
+// arity), reporting how many were newly added: the bulk entry point of the
+// staging-buffer merge path.
+func (t *Trie) InsertAll(flat []value.Value) int {
+	added := 0
+	for i := 0; i+t.arity <= len(flat); i += t.arity {
+		if t.Insert(flat[i : i+t.arity]) {
+			added++
+		}
+	}
+	return added
+}
+
 // Contains reports whether tup is stored.
 func (t *Trie) Contains(tup []value.Value) bool {
 	leaf := t.descend(tup, false)

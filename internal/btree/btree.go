@@ -118,6 +118,20 @@ func (t *Tree[K]) Insert(k K) bool {
 	return false
 }
 
+// InsertAll adds every key in keys, reporting how many were newly added. It
+// is the bulk entry point of the staging-buffer merge path: the relation
+// layer batches encoded keys so one call amortizes its dispatch over the
+// batch.
+func (t *Tree[K]) InsertAll(keys []K) int {
+	added := 0
+	for _, k := range keys {
+		if t.Insert(k) {
+			added++
+		}
+	}
+	return added
+}
+
 // splitChild splits the full child at index i of nd, lifting its median key
 // into nd. nd must not be full.
 func (nd *node[K]) splitChild(i int) {

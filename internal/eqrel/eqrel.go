@@ -103,6 +103,19 @@ func (r *Rel) Insert(x, y value.Value) bool {
 	return true
 }
 
+// InsertPairs makes every (x, y) pair packed back to back in flat
+// equivalent, reporting how many of the insert operations added new
+// information: the bulk entry point of the staging-buffer merge path.
+func (r *Rel) InsertPairs(flat []value.Value) int {
+	added := 0
+	for i := 0; i+1 < len(flat); i += 2 {
+		if r.Insert(flat[i], flat[i+1]) {
+			added++
+		}
+	}
+	return added
+}
+
 // mergeSorted merges two sorted slices into a fresh sorted slice.
 func mergeSorted(a, b []value.Value) []value.Value {
 	out := make([]value.Value, 0, len(a)+len(b))

@@ -51,8 +51,9 @@ type Config struct {
 	// reordering.
 	Legacy bool
 	// Profile enables the built-in profiler: per-rule wall time, dispatch
-	// counts, and iteration counts (§5.2). Profiling forces serial
-	// execution.
+	// counts, and iteration counts (§5.2). Counters are kept per worker
+	// context and folded at query barriers, so profiling composes with
+	// parallel execution.
 	Profile bool
 	// Provenance records the first derivation of every tuple so that
 	// Engine.Explain can reconstruct proof trees — the debugging workflow
@@ -95,7 +96,7 @@ func (c Config) normalize() Config {
 		c.StaticReordering = false
 		c.SuperInstructions = false
 	}
-	if c.Workers < 1 || c.Profile {
+	if c.Workers < 1 {
 		c.Workers = 1
 	}
 	if c.Workers > 1 {

@@ -2,7 +2,6 @@ package interp
 
 import (
 	"fmt"
-	"sync"
 
 	"sti/internal/ram"
 	"sti/internal/ram/verify"
@@ -87,9 +86,6 @@ func (e *Engine) Run(io IOHandler) (err error) {
 		lean:    e.cfg.LeanDispatch,
 		workers: e.cfg.Workers,
 	}
-	if ex.workers > 1 {
-		ex.insMu = &sync.Mutex{}
-	}
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(*RuntimeError); ok {
@@ -101,7 +97,23 @@ func (e *Engine) Run(io IOHandler) (err error) {
 	}()
 	ctx := &context{}
 	ex.eval(e.root, ctx)
+	if ex.profile {
+		// Dispatches outside any query (sequences, loops, IO) are folded
+		// from the root context; per-query counters folded at query end.
+		e.prof.dispatches += ctx.stats.dispatches
+		e.prof.super += ctx.stats.super
+	}
 	return nil
+}
+
+// TotalTuples reports the number of tuples across all relations after a
+// run, for throughput metrics in the benchmarks.
+func (e *Engine) TotalTuples() int {
+	total := 0
+	for _, r := range e.rels {
+		total += r.Size()
+	}
+	return total
 }
 
 // Profile returns the profiling report of the last Run (nil unless

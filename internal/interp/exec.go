@@ -12,33 +12,19 @@ import (
 	"sti/internal/value"
 )
 
-// executor holds the per-run state of the recursive tree walk.
+// executor holds the per-run state of the recursive tree walk. Relation
+// mutation needs no locks: parallel workers stage inserts into worker-local
+// buffers (context.stage) that merge at the scan barrier, so no store is
+// ever mutated while another goroutine can observe it.
 type executor struct {
 	eng     *Engine
 	io      IOHandler
 	prof    *profiler
-	cur     *RuleProfile // active rule's counters (profiling only)
 	prov    *provenance
 	curQ    *inode // active query (provenance only)
 	profile bool
 	lean    bool
 	workers int
-	// insMu serializes relation mutation when workers > 1 (our stores are
-	// not concurrent, unlike Soufflé's). nil in serial mode.
-	insMu *sync.Mutex
-}
-
-// lockInserts acquires the insert mutex in parallel mode.
-func (ex *executor) lockInserts() {
-	if ex.insMu != nil {
-		ex.insMu.Lock()
-	}
-}
-
-func (ex *executor) unlockInserts() {
-	if ex.insMu != nil {
-		ex.insMu.Unlock()
-	}
 }
 
 // eval is the dispatch entry point. With LeanDispatch off it models the
@@ -47,10 +33,7 @@ func (ex *executor) unlockInserts() {
 // (here: eight dependent memory updates before the real dispatch).
 func (ex *executor) eval(n *inode, ctx *context) value.Value {
 	if ex.profile {
-		ex.prof.dispatches++
-		if ex.cur != nil {
-			ex.cur.Dispatches++
-		}
+		ctx.stats.dispatches++
 	}
 	if !ex.lean {
 		spill(ctx)
@@ -101,23 +84,31 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 		return 0
 	case opQuery:
 		qctx := newContext(n.widths)
+		if n.staged {
+			qctx.stage = make([]*relation.StagingBuffer, len(ex.eng.rels))
+		}
 		if ex.prov != nil {
 			prevQ := ex.curQ
 			ex.curQ = n
 			defer func() { ex.curQ = prevQ }()
 		}
 		if ex.profile {
-			prev := ex.cur
-			ex.cur = &ex.prof.rules[n.ruleID]
-			ex.cur.RuleID = int(n.ruleID)
-			ex.cur.Label = n.label
 			start := time.Now()
 			ex.eval(n.nested, qctx)
-			ex.cur.Time += time.Since(start)
-			ex.cur = prev
+			ex.flushStage(qctx)
+			rp := &ex.prof.rules[n.ruleID]
+			rp.RuleID = int(n.ruleID)
+			rp.Label = n.label
+			rp.Time += time.Since(start)
+			rp.Iterations += qctx.stats.iters
+			rp.Dispatches += qctx.stats.dispatches
+			rp.Inserts += qctx.stats.inserts
+			ex.prof.dispatches += qctx.stats.dispatches
+			ex.prof.super += qctx.stats.super
 			return 0
 		}
 		ex.eval(n.nested, qctx)
+		ex.flushStage(qctx)
 		return 0
 	case opClear:
 		n.rel.Clear()
@@ -157,7 +148,7 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 				return 0
 			}
 			ctx.tuples[n.tupleID] = t
-			ex.countIter()
+			ex.countIter(ctx)
 			ex.eval(n.nested, ctx)
 		}
 	case opIndexScan:
@@ -173,7 +164,7 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 				return 0
 			}
 			ctx.tuples[n.tupleID] = t
-			ex.countIter()
+			ex.countIter(ctx)
 			ex.eval(n.nested, ctx)
 		}
 	case opChoice:
@@ -187,7 +178,7 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 				return 0
 			}
 			ctx.tuples[n.tupleID] = t
-			ex.countIter()
+			ex.countIter(ctx)
 			if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
 				ex.eval(n.nested, ctx)
 				return 0
@@ -206,7 +197,7 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 				return 0
 			}
 			ctx.tuples[n.tupleID] = t
-			ex.countIter()
+			ex.countIter(ctx)
 			if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
 				ex.eval(n.nested, ctx)
 				return 0
@@ -225,11 +216,11 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 	case opInsert:
 		var t [relation.MaxArity]value.Value
 		ex.fillTuple(n, ctx, t[:n.arity])
-		ex.lockInserts()
-		added := n.rel.Insert(t[:n.arity])
-		ex.unlockInserts()
-		if added {
-			ex.countInsert()
+		if ex.stageInsert(n, ctx, t[:n.arity]) {
+			return 0
+		}
+		if n.rel.Insert(t[:n.arity]) {
+			ex.countInsert(ctx)
 			if ex.prov != nil {
 				ex.recordDerivation(n, t[:n.arity], ctx)
 			}
@@ -251,7 +242,7 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 				break
 			}
 			ctx.tuples[n.tupleID] = t
-			ex.countIter()
+			ex.countIter(ctx)
 			if n.cond != nil && ex.eval(n.cond, ctx) == 0 {
 				continue
 			}
@@ -324,30 +315,26 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 }
 
 // parallelScan partitions a full scan across workers, each with its own
-// context copy (paper §3). Runtime errors from workers are re-raised after
-// all workers finish.
+// context copy and its own staging buffers (paper §3). Workers never mutate
+// shared state: inserts land in worker-local buffers that mergeWorkers folds
+// into the relations after the barrier. Runtime errors from workers are
+// re-raised after all workers finish.
 func (ex *executor) parallelScan(n *inode, ctx *context) {
 	iters := n.idx.PartitionScan(ex.workers)
 	if len(iters) == 1 {
-		it := iters[0]
-		if n.decode {
-			it = relation.NewDecoder(it, n.order)
-		}
-		for {
-			t, ok := it.Next()
-			if !ok {
-				return
-			}
-			ctx.tuples[n.tupleID] = t
-			ex.eval(n.nested, ctx)
-		}
+		// Degenerate partitioning (store too small or unsupported): same
+		// loop as a worker runs, on the caller's context.
+		ex.runPartition(n, ctx, iters[0])
+		return
 	}
+	wctxs := make([]*context, len(iters))
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr *rtl.Error
-	for _, it := range iters {
+	for i, it := range iters {
+		wctxs[i] = ctx.clone()
 		wg.Add(1)
-		go func(it relation.Iterator) {
+		go func(it relation.Iterator, wctx *context) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -362,35 +349,112 @@ func (ex *executor) parallelScan(n *inode, ctx *context) {
 					panic(r)
 				}
 			}()
-			wctx := ctx.clone()
-			if n.decode {
-				it = relation.NewDecoder(it, n.order)
-			}
-			for {
-				t, ok := it.Next()
-				if !ok {
-					return
-				}
-				wctx.tuples[n.tupleID] = t
-				ex.eval(n.nested, wctx)
-			}
-		}(it)
+			ex.runPartition(n, wctx, it)
+		}(it, wctxs[i])
 	}
 	wg.Wait()
+	ex.mergeWorkers(ctx, wctxs)
 	if firstErr != nil {
 		panic(firstErr)
 	}
 }
 
-func (ex *executor) countIter() {
-	if ex.profile && ex.cur != nil {
-		ex.cur.Iterations++
+// runPartition drives one partition iterator through the scan body. It is
+// the single loop shared by the multi-worker path and the single-partition
+// fallback, so both execute identically.
+func (ex *executor) runPartition(n *inode, ctx *context, it relation.Iterator) {
+	if n.decode {
+		it = relation.NewDecoder(it, n.order)
+	}
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return
+		}
+		ctx.tuples[n.tupleID] = t
+		ex.countIter(ctx)
+		ex.eval(n.nested, ctx)
 	}
 }
 
-func (ex *executor) countInsert() {
-	if ex.profile && ex.cur != nil {
-		ex.cur.Inserts++
+// mergeWorkers folds the workers' staging buffers and profiling counters
+// into the coordinating context at the scan barrier. All buffers targeting
+// one relation merge in a single InsertAll call, which de-duplicates against
+// the destination's primary index and across workers.
+func (ex *executor) mergeWorkers(ctx *context, wctxs []*context) {
+	if ctx.stage != nil {
+		var bufs []*relation.StagingBuffer
+		for rid := range ctx.stage {
+			bufs = bufs[:0]
+			if b := ctx.stage[rid]; b != nil && b.Len() > 0 {
+				bufs = append(bufs, b)
+			}
+			for _, w := range wctxs {
+				if b := w.stage[rid]; b != nil && b.Len() > 0 {
+					bufs = append(bufs, b)
+				}
+			}
+			if len(bufs) == 0 {
+				continue
+			}
+			added := ex.eng.rels[rid].InsertAll(bufs...)
+			ctx.stats.inserts += uint64(added)
+			if b := ctx.stage[rid]; b != nil {
+				b.Reset()
+			}
+		}
+	}
+	for _, w := range wctxs {
+		ctx.stats.iters += w.stats.iters
+		ctx.stats.dispatches += w.stats.dispatches
+		ctx.stats.super += w.stats.super
+		// Worker inserts were deferred to the staging buffers; the InsertAll
+		// above already counted the post-dedup total.
+	}
+}
+
+// stageInsert appends t to the context's worker-local staging buffer when
+// the insert runs under a staged query, reporting whether it did. The
+// relation is not touched; de-duplication happens at merge time.
+func (ex *executor) stageInsert(n *inode, ctx *context, t tuple.Tuple) bool {
+	if !n.staged || ctx.stage == nil {
+		return false
+	}
+	b := ctx.stage[n.relID]
+	if b == nil {
+		b = relation.NewStagingBuffer(int(n.arity))
+		ctx.stage[n.relID] = b
+	}
+	b.Add(t)
+	return true
+}
+
+// flushStage merges any staging buffers still pending on ctx into their
+// relations (a staged query whose parallel scan degenerated to the serial
+// path, or staged inserts outside the partitioned scan).
+func (ex *executor) flushStage(ctx *context) {
+	if ctx.stage == nil {
+		return
+	}
+	for rid, b := range ctx.stage {
+		if b == nil || b.Len() == 0 {
+			continue
+		}
+		added := ex.eng.rels[rid].InsertAll(b)
+		ctx.stats.inserts += uint64(added)
+		b.Reset()
+	}
+}
+
+func (ex *executor) countIter(ctx *context) {
+	if ex.profile {
+		ctx.stats.iters++
+	}
+}
+
+func (ex *executor) countInsert(ctx *context) {
+	if ex.profile {
+		ctx.stats.inserts++
 	}
 }
 
@@ -410,7 +474,7 @@ func (ex *executor) fillTuple(n *inode, ctx *context, dst []value.Value) {
 			dst[g.pos] = ex.eval(g.expr, ctx)
 		}
 		if ex.profile {
-			ex.prof.super += uint64(len(n.constants) + len(n.tupleElems))
+			ctx.stats.super += uint64(len(n.constants) + len(n.tupleElems))
 		}
 		return
 	}

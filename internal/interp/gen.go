@@ -29,6 +29,13 @@ type generator struct {
 	// pendingParallel marks that the next full scan of the current query is
 	// the outermost loop and should be partitioned across workers.
 	pendingParallel bool
+	// inParallel is true while generating the subtree nested under a
+	// partitioned scan: inserts there run on worker goroutines and must
+	// stage into worker-local buffers instead of mutating relations.
+	inParallel bool
+	// sawParallel records that the current query generated a partitioned
+	// scan, so the query node must allocate and merge staging buffers.
+	sawParallel bool
 }
 
 func (g *generator) relation(r *ram.Relation) *relation.Relation {
@@ -53,6 +60,7 @@ func (g *generator) genStatement(s ram.Statement) *inode {
 		g.prems = map[int32]int32{}
 		g.premExists = nil
 		g.pendingParallel = g.cfg.Workers > 1 && s.Parallel
+		g.sawParallel = false
 		root := g.genOperation(s.Root)
 		g.pendingParallel = false
 		widths := make([]int32, s.NumTuples)
@@ -68,8 +76,8 @@ func (g *generator) genStatement(s ram.Statement) *inode {
 		}
 		return &inode{
 			op: opQuery, nested: root, widths: widths, premRels: premRels,
-			premExists: g.premExists,
-			ruleID:     int32(s.RuleID), label: s.Label, shadow: s,
+			premExists: g.premExists, staged: g.sawParallel,
+			ruleID: int32(s.RuleID), label: s.Label, shadow: s,
 		}
 	case *ram.Clear:
 		return &inode{op: opClear, rel: g.relation(s.Rel), shadow: s}
@@ -154,7 +162,16 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 		g.widths[n.tupleID] = n.arity
 		g.prems[n.tupleID] = int32(o.Rel.BaseID)
 		g.bindCoords(n.tupleID, idx.Order(), n)
-		n.nested = g.genOperation(o.Nested)
+		if par {
+			// Everything nested runs on worker goroutines: inserts must
+			// stage into worker-local buffers (merged at the scan barrier).
+			g.sawParallel = true
+			g.inParallel = true
+			n.nested = g.genOperation(o.Nested)
+			g.inParallel = false
+		} else {
+			n.nested = g.genOperation(o.Nested)
+		}
 		return n
 
 	case *ram.IndexScan:
@@ -258,6 +275,8 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 		n := &inode{
 			op:     g.scanOpcode(opInsert, rel),
 			rel:    rel,
+			relID:  int32(o.Rel.ID),
+			staged: g.inParallel,
 			arity:  int32(rel.Arity()),
 			baseID: int32(o.Rel.BaseID),
 			shadow: o,

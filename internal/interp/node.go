@@ -102,6 +102,13 @@ type inode struct {
 	prefix  int32 // bound prefix length (encoded coordinates)
 	arity   int32
 	par     bool // partition this scan across workers
+	// staged marks mutation deferral for parallel evaluation. On an insert
+	// node it means "append to the context's worker-local staging buffer
+	// instead of mutating the relation"; on a query node it means "this
+	// query contains a parallel scan — allocate staging buffers and merge
+	// them when the query finishes".
+	staged bool
+	relID  int32 // insert target's RAM relation ID (staging buffer slot)
 
 	// tree structure
 	children []*inode // sub-expressions / statements / pattern (encoded order)
@@ -136,6 +143,25 @@ type inode struct {
 	shadow any // source RAM node (static info), the paper's sPtr
 }
 
+// opStats are the profiling counters of one context. They live in the
+// context rather than the executor so parallel workers never contend on (or
+// race over) shared counters; query and parallel-scan barriers fold them
+// into the profiler on the coordinating goroutine.
+type opStats struct {
+	iters      uint64 // tuples visited by scans
+	inserts    uint64 // tuples newly inserted
+	dispatches uint64 // execute() calls
+	super      uint64 // dispatches avoided by super-instructions
+}
+
+// add folds another context's counters into s.
+func (s *opStats) add(o *opStats) {
+	s.iters += o.iters
+	s.inserts += o.inserts
+	s.dispatches += o.dispatches
+	s.super += o.super
+}
+
 // context is the runtime environment of one query: the tuples currently
 // bound by enclosing scans (paper §3). Parallel workers get their own copy.
 type context struct {
@@ -144,20 +170,30 @@ type context struct {
 	// aggregates shrink tuples[tid] to their 1-wide result and must restore
 	// the full slot before re-iterating.
 	base []tuple.Tuple
-	exit bool // set by Exit, consumed by Loop
+	// stage holds this context's worker-local staging buffers, indexed by
+	// RAM relation ID, when the enclosing query defers inserts to the merge
+	// barrier (parallel evaluation). nil on the direct-insert path.
+	stage []*relation.StagingBuffer
+	stats opStats
+	exit  bool // set by Exit, consumed by Loop
 	// pad receives the heavyweight-dispatch baseline's spill traffic; it
 	// lives in the per-worker context so parallel workers do not contend.
 	pad [8]uint64
 }
 
 // clone creates a fresh context with the same slot widths (the paper's
-// thread-local context copies for parallel workers).
+// thread-local context copies for parallel workers). A staging context
+// clones to a staging context: each worker stages into its own buffers.
 func (ctx *context) clone() *context {
 	widths := make([]int32, len(ctx.base))
 	for i, t := range ctx.base {
 		widths[i] = int32(len(t))
 	}
-	return newContext(widths)
+	c := newContext(widths)
+	if ctx.stage != nil {
+		c.stage = make([]*relation.StagingBuffer, len(ctx.stage))
+	}
+	return c
 }
 
 func newContext(widths []int32) *context {

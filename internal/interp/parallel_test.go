@@ -60,6 +60,100 @@ eq(x, y) :- edge(x, y), x < y.
 	}
 }
 
+// TestParallelStress oversubscribes the scheduler (twice the CPUs) on
+// randomized graphs through the full feature mix — recursion, negation,
+// aggregates, eqrel — and demands byte-identical results with serial
+// evaluation. Run under -race it doubles as the proof that staged inserts
+// leave no shared mutable state between workers.
+func TestParallelStress(t *testing.T) {
+	src := `
+.decl edge(x:number, y:number)
+.decl path(x:number, y:number)
+.decl node(x:number)
+.decl unreached(x:number)
+.decl deg(x:number, n:number)
+.decl eq(x:number, y:number) eqrel
+.input edge
+node(x) :- edge(x, _).
+node(y) :- edge(_, y).
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+unreached(x) :- node(x), !path(0, x).
+deg(x, n) :- node(x), n = count : { edge(x, _) }.
+eq(x, y) :- edge(x, y), x < y.
+`
+	rels := []string{"path", "node", "unreached", "deg", "eq"}
+	rng := rand.New(rand.NewSource(987))
+	for trial := 0; trial < 4; trial++ {
+		n := 60 + trial*30
+		facts := map[string][]tuple.Tuple{}
+		for i := 0; i < 6*n; i++ {
+			facts["edge"] = append(facts["edge"],
+				tuple.Tuple{value.Value(rng.Intn(n)), value.Value(rng.Intn(n))})
+		}
+		serial, _ := run(t, src, facts, DefaultConfig())
+		parCfg := DefaultConfig()
+		parCfg.Workers = 2 * runtime.NumCPU()
+		parallel, _ := run(t, src, facts, parCfg)
+		for _, r := range rels {
+			a := tuplesOf(t, serial, r)
+			b := tuplesOf(t, parallel, r)
+			if len(a) != len(b) {
+				t.Fatalf("trial %d relation %s: serial %d tuples, parallel %d", trial, r, len(a), len(b))
+			}
+			for i := range a {
+				if tuple.Compare(a[i], b[i]) != 0 {
+					t.Fatalf("trial %d relation %s differs at %d: %v vs %v", trial, r, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}
+
+// TestProfileParallel: profiling no longer forces serial execution. The
+// per-context counters folded at query barriers must agree with a serial
+// profiling run on work-proportional counters (iterations, inserts).
+func TestProfileParallel(t *testing.T) {
+	facts := map[string][]tuple.Tuple{}
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 300; i++ {
+		facts["edge"] = append(facts["edge"],
+			tuple.Tuple{value.Value(rng.Intn(60)), value.Value(rng.Intn(60))})
+	}
+	serCfg := DefaultConfig()
+	serCfg.Profile = true
+	serEng, _ := run(t, tcSrc, facts, serCfg)
+	parCfg := DefaultConfig()
+	parCfg.Profile = true
+	parCfg.Workers = 4
+	if parCfg.normalize().Workers != 4 {
+		t.Fatal("profiling still forces serial execution")
+	}
+	parEng, _ := run(t, tcSrc, facts, parCfg)
+	ser, par := serEng.Profile(), parEng.Profile()
+	if ser == nil || par == nil {
+		t.Fatal("missing profile")
+	}
+	sums := func(p *Profile) (iters, inserts uint64) {
+		for _, r := range p.Rules {
+			iters += r.Iterations
+			inserts += r.Inserts
+		}
+		return
+	}
+	si, sn := sums(ser)
+	pi, pn := sums(par)
+	if si != pi {
+		t.Fatalf("iterations: serial %d, parallel %d", si, pi)
+	}
+	if sn != pn {
+		t.Fatalf("inserts: serial %d, parallel %d", sn, pn)
+	}
+	if par.TotalDispatches == 0 {
+		t.Fatal("parallel profile counted no dispatches")
+	}
+}
+
 // TestParallelRuntimeError: worker panics surface as ordinary errors.
 func TestParallelRuntimeError(t *testing.T) {
 	src := `

@@ -21,21 +21,23 @@ type toKeyFn[K btree.Key[K]] func(tuple.Tuple) K
 type fromKeyFn[K btree.Key[K]] func(K, tuple.Tuple)
 
 // evalInsertBT inserts a freshly built source tuple into every B-tree index
-// of the relation.
+// of the relation. Under a staged query the source tuple goes to the
+// worker-local buffer instead; the merge encodes per index.
 func evalInsertBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey toKeyFn[K], _ fromKeyFn[K]) value.Value {
 	var src, enc [relation.MaxArity]value.Value
 	ex.fillTuple(n, ctx, src[:n.arity])
+	if ex.stageInsert(n, ctx, src[:n.arity]) {
+		return 0
+	}
 	added := false
-	ex.lockInserts()
 	for i, impl := range n.impls {
 		n.orders[i].Encode(enc[:n.arity], src[:n.arity])
 		if impl.(*btree.Tree[K]).Insert(toKey(enc[:n.arity])) && i == 0 {
 			added = true
 		}
 	}
-	ex.unlockInserts()
 	if added {
-		ex.countInsert()
+		ex.countInsert(ctx)
 	}
 	return 0
 }
@@ -93,7 +95,7 @@ func evalScanBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, _ toKeyFn[
 			return 0
 		}
 		bindKey(n, ctx, k, fromKey)
-		ex.countIter()
+		ex.countIter(ctx)
 		ex.eval(n.nested, ctx)
 	}
 }
@@ -108,7 +110,7 @@ func evalIndexScanBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey
 			return 0
 		}
 		bindKey(n, ctx, k, fromKey)
-		ex.countIter()
+		ex.countIter(ctx)
 		ex.eval(n.nested, ctx)
 	}
 }
@@ -121,7 +123,7 @@ func evalChoiceBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, _ toKeyF
 			return 0
 		}
 		bindKey(n, ctx, k, fromKey)
-		ex.countIter()
+		ex.countIter(ctx)
 		if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
 			ex.eval(n.nested, ctx)
 			return 0
@@ -139,7 +141,7 @@ func evalIndexChoiceBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toK
 			return 0
 		}
 		bindKey(n, ctx, k, fromKey)
-		ex.countIter()
+		ex.countIter(ctx)
 		if n.cond == nil || ex.eval(n.cond, ctx) != 0 {
 			ex.eval(n.nested, ctx)
 			return 0
@@ -157,7 +159,7 @@ func aggBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, it btree.Iter[K
 			break
 		}
 		bindKey(n, ctx, k, fromKey)
-		ex.countIter()
+		ex.countIter(ctx)
 		if n.cond != nil && ex.eval(n.cond, ctx) == 0 {
 			continue
 		}
@@ -192,12 +194,12 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 	case opInsertEq:
 		var t [2]value.Value
 		ex.fillTuple(n, ctx, t[:])
+		if ex.stageInsert(n, ctx, t[:]) {
+			return 0, true
+		}
 		rel := n.impls[0].(*eqrel.Rel)
-		ex.lockInserts()
-		added := rel.Insert(t[0], t[1])
-		ex.unlockInserts()
-		if added {
-			ex.countInsert()
+		if rel.Insert(t[0], t[1]) {
+			ex.countInsert(ctx)
 		}
 		return 0, true
 	case opScanEq:
@@ -209,7 +211,7 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 				return 0, true
 			}
 			copy(slot, t)
-			ex.countIter()
+			ex.countIter(ctx)
 			ex.eval(n.nested, ctx)
 		}
 	case opIndexScanEq:
@@ -220,7 +222,7 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 		if n.prefix == 2 {
 			if rel.Contains(pat[0], pat[1]) {
 				copy(slot, pat[:])
-				ex.countIter()
+				ex.countIter(ctx)
 				ex.eval(n.nested, ctx)
 			}
 			return 0, true
@@ -232,7 +234,7 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 				return 0, true
 			}
 			copy(slot, t)
-			ex.countIter()
+			ex.countIter(ctx)
 			ex.eval(n.nested, ctx)
 		}
 	case opExistsEq:
@@ -251,17 +253,18 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 	case opInsertBrie:
 		var src, enc [relation.MaxArity]value.Value
 		ex.fillTuple(n, ctx, src[:n.arity])
+		if ex.stageInsert(n, ctx, src[:n.arity]) {
+			return 0, true
+		}
 		added := false
-		ex.lockInserts()
 		for i, impl := range n.impls {
 			n.orders[i].Encode(enc[:n.arity], src[:n.arity])
 			if impl.(*brie.Trie).Insert(enc[:n.arity]) && i == 0 {
 				added = true
 			}
 		}
-		ex.unlockInserts()
 		if added {
-			ex.countInsert()
+			ex.countInsert(ctx)
 		}
 		return 0, true
 	case opScanBrie, opIndexScanBrie:
@@ -280,7 +283,7 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 			} else {
 				copy(slot, t)
 			}
-			ex.countIter()
+			ex.countIter(ctx)
 			ex.eval(n.nested, ctx)
 		}
 	case opExistsBrie:

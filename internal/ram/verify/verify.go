@@ -25,30 +25,31 @@ import (
 // Rule identifiers, one per invariant. Stable strings so tests and tools
 // can match on them.
 const (
-	RuleProgram       = "program"        // program-level shape (nil Main, nil relation)
-	RuleRelID         = "rel-id"         // Relation.ID must equal its declaration index
-	RuleRelName       = "rel-name"       // relation names are non-empty and unique
-	RuleRelTypes      = "rel-types"      // len(Types) == Arity
-	RuleRelOrder      = "rel-order"      // every order is a permutation of 0..arity-1
-	RuleRelBase       = "rel-base"       // BaseID resolves to a declared relation
-	RuleRelAux        = "rel-aux"        // aux relations shadow a live, compatible base
-	RuleRelDeclared   = "rel-declared"   // operations reference declared relations
-	RuleExitInLoop    = "exit-in-loop"   // Exit appears only under Loop
-	RuleNilNode       = "nil-node"       // required child node is nil
-	RuleSwapShape     = "swap-shape"     // Swap operands have identical signatures
-	RuleMergeShape    = "merge-shape"    // Merge operands agree in arity and types
-	RuleIOFlag        = "io-flag"        // IO statements match the relation's io flags
-	RuleIODup         = "io-dup"         // a relation is loaded/stored at most once
-	RuleTupleSlot     = "tuple-slot"     // binder TupleIDs fit the query's slot count
-	RuleTupleRebound  = "tuple-rebound"  // a live tuple slot is never rebound
-	RuleTupleUnbound  = "tuple-unbound"  // tuple reads see an enclosing binder
-	RuleElemBounds    = "elem-bounds"    // TupleElement.Elem within the binder's arity
-	RulePatternArity  = "pattern-arity"  // pattern length equals relation arity
-	RuleIndexID       = "index-id"       // IndexID selects a declared order
-	RuleIndexPrefix   = "index-prefix"   // bound pattern positions form an order prefix
-	RuleProjectArity  = "project-arity"  // Project expression count equals target arity
-	RuleAggTarget     = "agg-target"     // sum/min/max aggregates carry a target
-	RuleIntrinsicArgs = "intrinsic-args" // intrinsics receive the right argument count
+	RuleProgram        = "program"         // program-level shape (nil Main, nil relation)
+	RuleRelID          = "rel-id"          // Relation.ID must equal its declaration index
+	RuleRelName        = "rel-name"        // relation names are non-empty and unique
+	RuleRelTypes       = "rel-types"       // len(Types) == Arity
+	RuleRelOrder       = "rel-order"       // every order is a permutation of 0..arity-1
+	RuleRelBase        = "rel-base"        // BaseID resolves to a declared relation
+	RuleRelAux         = "rel-aux"         // aux relations shadow a live, compatible base
+	RuleRelDeclared    = "rel-declared"    // operations reference declared relations
+	RuleExitInLoop     = "exit-in-loop"    // Exit appears only under Loop
+	RuleNilNode        = "nil-node"        // required child node is nil
+	RuleSwapShape      = "swap-shape"      // Swap operands have identical signatures
+	RuleMergeShape     = "merge-shape"     // Merge operands agree in arity and types
+	RuleIOFlag         = "io-flag"         // IO statements match the relation's io flags
+	RuleIODup          = "io-dup"          // a relation is loaded/stored at most once
+	RuleTupleSlot      = "tuple-slot"      // binder TupleIDs fit the query's slot count
+	RuleTupleRebound   = "tuple-rebound"   // a live tuple slot is never rebound
+	RuleTupleUnbound   = "tuple-unbound"   // tuple reads see an enclosing binder
+	RuleElemBounds     = "elem-bounds"     // TupleElement.Elem within the binder's arity
+	RulePatternArity   = "pattern-arity"   // pattern length equals relation arity
+	RuleIndexID        = "index-id"        // IndexID selects a declared order
+	RuleIndexPrefix    = "index-prefix"    // bound pattern positions form an order prefix
+	RuleProjectArity   = "project-arity"   // Project expression count equals target arity
+	RuleAggTarget      = "agg-target"      // sum/min/max aggregates carry a target
+	RuleIntrinsicArgs  = "intrinsic-args"  // intrinsics receive the right argument count
+	RuleParallelFrozen = "parallel-frozen" // parallel queries never read their insert targets
 )
 
 // Diag is one invariant violation: the offending node (nil for
@@ -306,6 +307,7 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 			return
 		}
 		c.op(s.Root, s, scope{})
+		c.parallelFrozen(s)
 	case *ram.Clear:
 		c.relDeclared(s, s.Rel, "CLEAR")
 	case *ram.Swap:
@@ -481,6 +483,77 @@ func (c *checker) op(o ram.Operation, q *ram.Query, sc scope) {
 		c.nested(o, o.Nested, q, result)
 	default:
 		c.addf(o, RuleProgram, "unknown operation type %T", o)
+	}
+}
+
+// parallelFrozen enforces the invariant parallel evaluation rests on: a
+// parallel query's insert targets must be disjoint from every relation the
+// query reads (scans, choices, aggregates, and existence/emptiness checks).
+// Semi-naive translation guarantees this — recursive rules read the full
+// and delta relations and insert into @new — and the interpreter exploits
+// it by deferring worker inserts to a merge at the scan barrier; a query
+// that read its own target would observe a relation frozen mid-iteration.
+func (c *checker) parallelFrozen(q *ram.Query) {
+	if !q.Parallel {
+		return
+	}
+	reads := map[*ram.Relation]bool{}
+	writes := map[*ram.Relation]bool{}
+	var walkCond func(ram.Condition)
+	walkCond = func(cond ram.Condition) {
+		switch cond := cond.(type) {
+		case *ram.And:
+			walkCond(cond.L)
+			walkCond(cond.R)
+		case *ram.Not:
+			walkCond(cond.C)
+		case *ram.EmptinessCheck:
+			reads[cond.Rel] = true
+		case *ram.ExistenceCheck:
+			reads[cond.Rel] = true
+		}
+	}
+	var walkOp func(ram.Operation)
+	walkOp = func(o ram.Operation) {
+		switch o := o.(type) {
+		case *ram.Scan:
+			reads[o.Rel] = true
+			walkOp(o.Nested)
+		case *ram.IndexScan:
+			reads[o.Rel] = true
+			walkOp(o.Nested)
+		case *ram.Choice:
+			reads[o.Rel] = true
+			if o.Cond != nil {
+				walkCond(o.Cond)
+			}
+			walkOp(o.Nested)
+		case *ram.IndexChoice:
+			reads[o.Rel] = true
+			if o.Cond != nil {
+				walkCond(o.Cond)
+			}
+			walkOp(o.Nested)
+		case *ram.Filter:
+			if o.Cond != nil {
+				walkCond(o.Cond)
+			}
+			walkOp(o.Nested)
+		case *ram.Project:
+			writes[o.Rel] = true
+		case *ram.Aggregate:
+			reads[o.Rel] = true
+			if o.Cond != nil {
+				walkCond(o.Cond)
+			}
+			walkOp(o.Nested)
+		}
+	}
+	walkOp(q.Root)
+	for rel := range writes {
+		if rel != nil && reads[rel] {
+			c.addf(q, RuleParallelFrozen, "parallel query %q inserts into %s and also reads it", q.Label, rel.Name)
+		}
 	}
 }
 

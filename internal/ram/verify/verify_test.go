@@ -479,3 +479,53 @@ func TestFusedConditionPartialScope(t *testing.T) {
 		t.Fatalf("fully in-bounds condition flagged: %v", diags)
 	}
 }
+
+func TestParallelFrozen(t *testing.T) {
+	// Marking the copy query parallel is fine as-is: it reads edge and
+	// writes path, which are disjoint.
+	p := tcProgram()
+	stmtAt(p, 1).(*ram.Query).Parallel = true
+	if diags := Program(p); len(diags) > 0 {
+		t.Fatalf("disjoint parallel query flagged: %v", diags)
+	}
+
+	// Rewriting the copy to insert into the relation it scans violates the
+	// freeze invariant, but only when the query is parallel.
+	build := func(parallel bool) *ram.Program {
+		p := tcProgram()
+		q := stmtAt(p, 1).(*ram.Query)
+		q.Parallel = parallel
+		q.Root.(*ram.Scan).Nested.(*ram.Project).Rel = p.Relations[0]
+		return p
+	}
+	if diags := Program(build(false)); len(diags) > 0 {
+		t.Fatalf("serial self-insert flagged: %v", diags)
+	}
+	diags := Program(build(true))
+	if len(diags) != 1 || diags[0].Rule != RuleParallelFrozen {
+		t.Fatalf("diags = %v, want exactly one %s", diags, RuleParallelFrozen)
+	}
+
+	// The read set includes condition checks: a parallel query that guards
+	// on membership in its own insert target (dedup-at-insert) must be
+	// rejected too — that is exactly the read the merge barrier defers.
+	p2 := tcProgram()
+	q2 := stmtAt(p2, 1).(*ram.Query)
+	q2.Parallel = true
+	scan := q2.Root.(*ram.Scan)
+	proj := scan.Nested.(*ram.Project)
+	scan.Nested = &ram.Filter{
+		Cond: &ram.Not{C: &ram.ExistenceCheck{
+			Rel: p2.Relations[1], IndexID: 0,
+			Pattern: []ram.Expr{
+				&ram.TupleElement{TupleID: 0, Elem: 0},
+				&ram.TupleElement{TupleID: 0, Elem: 1},
+			},
+		}},
+		Nested: proj,
+	}
+	diags = Program(p2)
+	if len(diags) != 1 || diags[0].Rule != RuleParallelFrozen {
+		t.Fatalf("diags = %v, want exactly one %s", diags, RuleParallelFrozen)
+	}
+}

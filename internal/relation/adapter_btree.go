@@ -47,6 +47,26 @@ func (a *btreeAdapter[K]) Insert(t tuple.Tuple) bool {
 	return a.tree.Insert(a.encode(t))
 }
 
+// bulkBatch is how many encoded keys an InsertAll accumulates on the stack
+// before handing them to the tree's bulk entry point.
+const bulkBatch = 64
+
+func (a *btreeAdapter[K]) InsertAll(flat []value.Value, count int) int {
+	var enc [MaxArity]value.Value
+	var keys [bulkBatch]K
+	added, kn := 0, 0
+	for i := 0; i < count; i++ {
+		a.order.Encode(enc[:a.arity], flat[i*a.arity:(i+1)*a.arity])
+		keys[kn] = a.toKey(enc[:a.arity])
+		kn++
+		if kn == bulkBatch {
+			added += a.tree.InsertAll(keys[:kn])
+			kn = 0
+		}
+	}
+	return added + a.tree.InsertAll(keys[:kn])
+}
+
 func (a *btreeAdapter[K]) Contains(t tuple.Tuple) bool {
 	return a.tree.Contains(a.encode(t))
 }

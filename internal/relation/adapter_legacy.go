@@ -28,7 +28,18 @@ func (a *legacyAdapter) Size() int          { return a.tree.Size() }
 func (a *legacyAdapter) Clear()             { a.tree.Clear() }
 func (a *legacyAdapter) impl() any          { return a.tree }
 
-func (a *legacyAdapter) Insert(t tuple.Tuple) bool   { return a.tree.Insert(t) }
+func (a *legacyAdapter) Insert(t tuple.Tuple) bool { return a.tree.Insert(t) }
+
+func (a *legacyAdapter) InsertAll(flat []value.Value, count int) int {
+	arity := len(a.order)
+	added := 0
+	for i := 0; i < count; i++ {
+		if a.tree.Insert(flat[i*arity : (i+1)*arity]) {
+			added++
+		}
+	}
+	return added
+}
 func (a *legacyAdapter) Contains(t tuple.Tuple) bool { return a.tree.Contains(t) }
 
 func (a *legacyAdapter) ContainsEncoded(t tuple.Tuple) bool {

@@ -6,6 +6,7 @@ import (
 	"sti/internal/brie"
 	"sti/internal/eqrel"
 	"sti/internal/tuple"
+	"sti/internal/value"
 )
 
 // --- brie ---
@@ -36,7 +37,23 @@ func (a *brieAdapter) encode(t tuple.Tuple) tuple.Tuple {
 	return a.order.Encoded(t)
 }
 
-func (a *brieAdapter) Insert(t tuple.Tuple) bool          { return a.trie.Insert(a.encode(t)) }
+func (a *brieAdapter) Insert(t tuple.Tuple) bool { return a.trie.Insert(a.encode(t)) }
+
+func (a *brieAdapter) InsertAll(flat []value.Value, count int) int {
+	arity := a.trie.Arity()
+	if a.order.IsIdentity() {
+		return a.trie.InsertAll(flat[:count*arity])
+	}
+	var enc [MaxArity]value.Value
+	added := 0
+	for i := 0; i < count; i++ {
+		a.order.Encode(enc[:arity], flat[i*arity:(i+1)*arity])
+		if a.trie.Insert(enc[:arity]) {
+			added++
+		}
+	}
+	return added
+}
 func (a *brieAdapter) Contains(t tuple.Tuple) bool        { return a.trie.Contains(a.encode(t)) }
 func (a *brieAdapter) ContainsEncoded(t tuple.Tuple) bool { return a.trie.Contains(t) }
 
@@ -102,7 +119,11 @@ func (a *eqrelAdapter) Size() int          { return a.rel.Size() }
 func (a *eqrelAdapter) Clear()             { a.rel.Clear() }
 func (a *eqrelAdapter) impl() any          { return a.rel }
 
-func (a *eqrelAdapter) Insert(t tuple.Tuple) bool          { return a.rel.Insert(t[0], t[1]) }
+func (a *eqrelAdapter) Insert(t tuple.Tuple) bool { return a.rel.Insert(t[0], t[1]) }
+
+func (a *eqrelAdapter) InsertAll(flat []value.Value, count int) int {
+	return a.rel.InsertPairs(flat[:count*2])
+}
 func (a *eqrelAdapter) Contains(t tuple.Tuple) bool        { return a.rel.Contains(t[0], t[1]) }
 func (a *eqrelAdapter) ContainsEncoded(t tuple.Tuple) bool { return a.rel.Contains(t[0], t[1]) }
 
@@ -184,6 +205,14 @@ func (a *nullaryAdapter) Insert(tuple.Tuple) bool {
 	added := !a.set
 	a.set = true
 	return added
+}
+
+func (a *nullaryAdapter) InsertAll(flat []value.Value, count int) int {
+	if count == 0 || a.set {
+		return 0
+	}
+	a.set = true
+	return 1
 }
 func (a *nullaryAdapter) Contains(tuple.Tuple) bool        { return a.set }
 func (a *nullaryAdapter) ContainsEncoded(tuple.Tuple) bool { return a.set }

@@ -90,6 +90,11 @@ type Index interface {
 	// Insert adds a tuple given in source order, reporting whether it was
 	// newly added.
 	Insert(t tuple.Tuple) bool
+	// InsertAll bulk-inserts count source-order tuples packed back to back
+	// in flat (len(flat) == count*Arity()), reporting how many were newly
+	// added. It is the merge entry point of the staging-buffer path: one
+	// dynamic dispatch covers the whole batch instead of one per tuple.
+	InsertAll(flat []value.Value, count int) int
 	// Contains tests membership of a tuple given in source order.
 	Contains(t tuple.Tuple) bool
 	// ContainsEncoded tests membership of a tuple given in encoded order.

@@ -1,0 +1,207 @@
+package relation
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// TestStagingBufferBasics covers the buffer container itself: packing,
+// views, and reuse after Reset.
+func TestStagingBufferBasics(t *testing.T) {
+	b := NewStagingBuffer(3)
+	if b.Arity() != 3 || b.Len() != 0 {
+		t.Fatalf("fresh buffer: arity %d len %d", b.Arity(), b.Len())
+	}
+	b.Add(tuple.Tuple{1, 2, 3})
+	b.Add(tuple.Tuple{4, 5, 6})
+	if b.Len() != 2 {
+		t.Fatalf("len = %d, want 2", b.Len())
+	}
+	if got := b.Tuple(1); got[0] != 4 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("tuple 1 = %v", got)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("len after reset = %d", b.Len())
+	}
+	b.Add(tuple.Tuple{7, 8, 9})
+	if got := b.Tuple(0); got[0] != 7 {
+		t.Fatalf("tuple after reset = %v", got)
+	}
+}
+
+// TestInsertAllDedup verifies that merging de-duplicates against the
+// relation's existing contents, across buffers, and within one buffer — and
+// that every index of the relation ends up consistent.
+func TestInsertAllDedup(t *testing.T) {
+	for _, rep := range []Rep{BTree, Brie, Legacy} {
+		orders := []tuple.Order{{0, 1}, {1, 0}}
+		r := New("t", rep, 2, orders)
+		r.Insert(tuple.Tuple{1, 2}) // pre-existing
+
+		a := NewStagingBuffer(2)
+		a.Add(tuple.Tuple{1, 2}) // duplicate of stored tuple
+		a.Add(tuple.Tuple{3, 4})
+		a.Add(tuple.Tuple{3, 4}) // duplicate within the buffer
+		b := NewStagingBuffer(2)
+		b.Add(tuple.Tuple{3, 4}) // duplicate across buffers
+		b.Add(tuple.Tuple{5, 6})
+
+		if added := r.InsertAll(a, b); added != 2 {
+			t.Fatalf("%v: added = %d, want 2", rep, added)
+		}
+		if r.Size() != 3 {
+			t.Fatalf("%v: size = %d, want 3", rep, r.Size())
+		}
+		for i := 0; i < r.NumIndexes(); i++ {
+			if got := r.Index(i).Size(); got != 3 {
+				t.Fatalf("%v: index %d size = %d, want 3", rep, i, got)
+			}
+		}
+		for _, want := range []tuple.Tuple{{1, 2}, {3, 4}, {5, 6}} {
+			if !r.Contains(want) {
+				t.Fatalf("%v: missing %v", rep, want)
+			}
+		}
+	}
+}
+
+// TestInsertAllArityMismatchPanics locks in the guard against merging a
+// buffer staged for a different relation.
+func TestInsertAllArityMismatchPanics(t *testing.T) {
+	r := New("t", BTree, 2, []tuple.Order{{0, 1}})
+	b := NewStagingBuffer(3)
+	b.Add(tuple.Tuple{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	r.InsertAll(b)
+}
+
+// TestInsertAllParallelSecondaryMerge pushes enough fresh tuples through a
+// three-index relation to take the parallel secondary-merge path, then
+// cross-checks every index against the primary.
+func TestInsertAllParallelSecondaryMerge(t *testing.T) {
+	orders := []tuple.Order{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}}
+	r := New("t", BTree, 3, orders)
+	rng := rand.New(rand.NewSource(7))
+	bufs := make([]*StagingBuffer, 4)
+	want := map[[3]value.Value]bool{}
+	for i := range bufs {
+		bufs[i] = NewStagingBuffer(3)
+		for j := 0; j < parallelMergeMin; j++ {
+			tup := tuple.Tuple{
+				value.Value(rng.Intn(64)),
+				value.Value(rng.Intn(64)),
+				value.Value(rng.Intn(64)),
+			}
+			bufs[i].Add(tup)
+			want[[3]value.Value{tup[0], tup[1], tup[2]}] = true
+		}
+	}
+	added := r.InsertAll(bufs...)
+	if added != len(want) {
+		t.Fatalf("added = %d, want %d", added, len(want))
+	}
+	for i := 0; i < r.NumIndexes(); i++ {
+		idx := r.Index(i)
+		if idx.Size() != len(want) {
+			t.Fatalf("index %d size = %d, want %d", i, idx.Size(), len(want))
+		}
+		got := drain(NewDecoder(idx.Scan(), idx.Order()))
+		if len(got) != len(want) {
+			t.Fatalf("index %d yields %d tuples, want %d", i, len(got), len(want))
+		}
+		for _, tup := range got {
+			if !want[[3]value.Value{tup[0], tup[1], tup[2]}] {
+				t.Fatalf("index %d yields unstaged tuple %v", i, tup)
+			}
+		}
+	}
+}
+
+// TestInsertAllEqrel verifies merging into an equivalence relation: staged
+// pairs union classes, and the merged contents equal serially inserted ones.
+func TestInsertAllEqrel(t *testing.T) {
+	serial := New("s", EqRel, 2, []tuple.Order{{0, 1}})
+	staged := New("p", EqRel, 2, []tuple.Order{{0, 1}})
+	pairs := []tuple.Tuple{{1, 2}, {2, 3}, {10, 11}, {3, 1}, {4, 4}}
+	b1, b2 := NewStagingBuffer(2), NewStagingBuffer(2)
+	for i, p := range pairs {
+		serial.Insert(p)
+		if i%2 == 0 {
+			b1.Add(p)
+		} else {
+			b2.Add(p)
+		}
+	}
+	staged.InsertAll(b1, b2)
+	if staged.Size() != serial.Size() {
+		t.Fatalf("size = %d, want %d", staged.Size(), serial.Size())
+	}
+	got, want := drain(staged.Scan()), drain(serial.Scan())
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// (1,2),(2,3),(3,1) collapse into one class with reflexive closure:
+	// merging the same information again adds nothing.
+	if again := staged.InsertAll(b1, b2); again != 0 {
+		t.Fatalf("re-merge added %d", again)
+	}
+}
+
+// TestInsertAllBrieNonIdentityIndex exercises the brie merge path that must
+// encode tuples into the index order before inserting.
+func TestInsertAllBrieNonIdentityIndex(t *testing.T) {
+	orders := []tuple.Order{{0, 1}, {1, 0}}
+	r := New("t", Brie, 2, orders)
+	b := NewStagingBuffer(2)
+	tuples := []tuple.Tuple{{3, 1}, {1, 2}, {2, 9}, {3, 1}}
+	for _, tup := range tuples {
+		b.Add(tup)
+	}
+	if added := r.InsertAll(b); added != 3 {
+		t.Fatalf("added = %d, want 3", added)
+	}
+	// The secondary stores reversed coordinates; decode and compare.
+	idx := r.Index(1)
+	if idx.Size() != 3 {
+		t.Fatalf("secondary size = %d", idx.Size())
+	}
+	got := drain(NewDecoder(idx.Scan(), idx.Order()))
+	sort.Slice(got, func(i, j int) bool {
+		return got[i][0] < got[j][0] || (got[i][0] == got[j][0] && got[i][1] < got[j][1])
+	})
+	want := []tuple.Tuple{{1, 2}, {2, 9}, {3, 1}}
+	for i := range want {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("secondary tuple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestInsertAllNullary verifies the nullary degenerate case: any staged
+// count flips the relation to non-empty exactly once.
+func TestInsertAllNullary(t *testing.T) {
+	r := New("t", BTree, 0, []tuple.Order{{}})
+	b := NewStagingBuffer(0)
+	b.Add(tuple.Tuple{})
+	b.Add(tuple.Tuple{})
+	if added := r.InsertAll(b); added != 1 {
+		t.Fatalf("added = %d, want 1", added)
+	}
+	if r.Size() != 1 || r.Empty() {
+		t.Fatalf("size = %d empty = %v", r.Size(), r.Empty())
+	}
+	if again := r.InsertAll(b); again != 0 {
+		t.Fatalf("re-merge added %d", again)
+	}
+}
