@@ -8,10 +8,13 @@
 //	benchmark -fig 19          super-instruction ablation
 //	benchmark -fig reorder     static tuple reordering ablation (§5.5)
 //	benchmark -fig dispatch    lean dispatch ablation (§5.5)
+//	benchmark -fig scaling     worker-scaling sweep (wall time, tuples/s)
 //	benchmark -table 1         first-run compile+execute ratios (Table 1)
 //	benchmark -all             everything
 //
-// Flags: -scale small|medium|large, -repeat N, -no-legacy.
+// Flags: -scale small|medium|large, -repeat N, -no-legacy, and -json DIR to
+// also write each experiment's results as machine-readable BENCH_<name>.json
+// (workloads, wall times, tuple throughput, worker counts, git revision).
 package main
 
 import (
@@ -24,12 +27,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch")
+	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling")
 	table := flag.String("table", "", "table to reproduce: 1")
 	all := flag.Bool("all", false, "run every experiment")
 	scaleFlag := flag.String("scale", "small", "workload scale: small | medium | large")
 	repeats := flag.Int("repeat", 1, "measurement repetitions (minimum is reported)")
 	noLegacy := flag.Bool("no-legacy", false, "skip the slow legacy-interpreter runs in Fig 15")
+	jsonDir := flag.String("json", "", "directory to write machine-readable BENCH_<experiment>.json results")
 	flag.Parse()
 
 	scale, err := bench.ParseScale(*scaleFlag)
@@ -42,62 +46,81 @@ func main() {
 	}
 
 	w := os.Stdout
-	run := func(name string, fn func() error) {
-		if err := fn(); err != nil {
+	// run executes one experiment; the returned records (nil when the
+	// experiment has no machine-readable form) go to -json.
+	run := func(name string, fn func() ([]bench.BenchRecord, error)) {
+		records, err := fn()
+		if err != nil {
 			fatal(fmt.Errorf("%s: %v", name, err))
 		}
 		fmt.Fprintln(w)
+		if *jsonDir == "" || records == nil {
+			return
+		}
+		log := bench.NewBenchLog(name, scale, *repeats)
+		log.Records = records
+		path, err := log.WriteJSON(*jsonDir)
+		if err != nil {
+			fatal(fmt.Errorf("%s: writing json: %v", name, err))
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	}
 
 	if *all || *fig == "15" {
-		run("fig15", func() error {
-			_, err := bench.Fig15(scale, *repeats, !*noLegacy, w)
-			return err
+		run("fig15", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Fig15(scale, *repeats, !*noLegacy, w)
+			return bench.Fig15Records(rows), err
 		})
 	}
 	if *all || *fig == "16" {
-		run("fig16", func() error {
-			_, err := bench.Fig16(scale, w)
-			return err
+		run("fig16", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Fig16(scale, w)
+			return bench.Fig16Records(rows), err
 		})
 	}
 	if *all || *fig == "18" {
-		run("fig18", func() error {
-			_, err := bench.Fig18(scale, *repeats, w)
-			return err
+		run("fig18", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Fig18(scale, *repeats, w)
+			return bench.AblationRecords(rows), err
 		})
 	}
 	if *all || *fig == "19" {
-		run("fig19", func() error {
-			_, err := bench.Fig19(scale, *repeats, w)
-			return err
+		run("fig19", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Fig19(scale, *repeats, w)
+			return bench.AblationRecords(rows), err
 		})
 	}
 	if *all || *fig == "reorder" {
-		run("reorder", func() error {
-			_, err := bench.FigReorder(scale, *repeats, w)
-			return err
+		run("reorder", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.FigReorder(scale, *repeats, w)
+			return bench.AblationRecords(rows), err
 		})
 	}
 	if *all || *fig == "dispatch" {
-		run("dispatch", func() error {
-			_, err := bench.FigDispatch(scale, *repeats, w)
-			return err
+		run("dispatch", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.FigDispatch(scale, *repeats, w)
+			return bench.AblationRecords(rows), err
+		})
+	}
+	if *all || *fig == "scaling" {
+		run("scaling", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Scaling(scale, *repeats, w)
+			return bench.ScalingRecords(rows), err
 		})
 	}
 	if *all || *fig == "portfolio" {
-		run("portfolio", func() error {
-			return bench.FigPortfolio(scale, *repeats, w)
+		run("portfolio", func() ([]bench.BenchRecord, error) {
+			return nil, bench.FigPortfolio(scale, *repeats, w)
 		})
 	}
 	if *all || *table == "1" {
-		run("table1", func() error {
+		run("table1", func() ([]bench.BenchRecord, error) {
 			root, err := moduleRoot()
 			if err != nil {
-				return err
+				return nil, err
 			}
-			_, err = bench.Table1(scale, root, w)
-			return err
+			rows, err := bench.Table1(scale, root, w)
+			return bench.Table1Records(rows), err
 		})
 	}
 }

@@ -2,6 +2,9 @@
 //
 //	sti run program.dl -F facts/ -D out/       interpret a program
 //	sti run program.dl -backend compiled       use the closure compiler
+//	sti profile program.dl -json p.json        run with telemetry: rule and
+//	                                           relation counters, fixpoint
+//	                                           curves, -trace span output
 //	sti ram program.dl                         print the RAM program
 //	sti emit program.dl -o gen/prog            synthesize standalone Go
 //	sti vet examples/ prog.dl                  verify RAM without executing
@@ -40,6 +43,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		cmdRun(os.Args[2:])
+	case "profile":
+		cmdProfile(os.Args[2:])
 	case "ram":
 		cmdRAM(os.Args[2:])
 	case "emit":
@@ -91,7 +96,7 @@ func parseWithFile(fs *flag.FlagSet, args []string, usageLine string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sti {run|ram|emit|vet} program.dl [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sti {run|profile|ram|emit|vet} program.dl [flags]")
 	os.Exit(2)
 }
 

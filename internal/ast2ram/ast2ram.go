@@ -10,6 +10,7 @@ package ast2ram
 
 import (
 	"fmt"
+	"strings"
 
 	"sti/internal/ast"
 	"sti/internal/indexselect"
@@ -318,7 +319,14 @@ func (t *translator) translateStratum(s *sema.Stratum) (ram.Statement, error) {
 	}
 	body := append(loopBody, &ram.Exit{Cond: exitCond})
 	body = append(body, post...)
-	stmts = append(stmts, &ram.Loop{Body: &ram.Sequence{Stmts: body}})
+	var names []string
+	for _, r := range s.Rels {
+		if t.news[r.Name()] != nil {
+			names = append(names, r.Name())
+		}
+	}
+	label := fmt.Sprintf("stratum %d (%s)", s.Index, strings.Join(names, ", "))
+	stmts = append(stmts, &ram.Loop{Body: &ram.Sequence{Stmts: body}, Label: label})
 	// Release the scratch relations.
 	for _, r := range s.Rels {
 		if d := t.deltas[r.Name()]; d != nil {

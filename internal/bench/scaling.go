@@ -2,8 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
+	"time"
+
+	"sti/internal/interp"
 )
 
 // TCWorkload generates the transitive-closure workload of the worker-scaling
@@ -50,4 +54,55 @@ func ScalingWorkerCounts() []int {
 		counts = append(counts, n)
 	}
 	return counts
+}
+
+// ScalingRow is one worker-scaling measurement.
+type ScalingRow struct {
+	Workload     string
+	Workers      int
+	Wall         time.Duration
+	Tuples       int // total tuples across all relations after the run
+	TuplesPerSec float64
+}
+
+// Scaling sweeps the scaling workloads over the worker axis and reports
+// wall time and tuple throughput per (workload, worker-count) cell; the
+// minimum over repeats is reported, as in the paper's methodology.
+func Scaling(scale Scale, repeats int, w io.Writer) ([]ScalingRow, error) {
+	fmt.Fprintf(w, "worker scaling (scale=%s; wall time and tuples/s per worker count)\n", scale)
+	fmt.Fprintf(w, "%-22s %8s %12s %12s %14s\n", "benchmark", "workers", "wall", "tuples", "tuples/s")
+	var rows []ScalingRow
+	for _, wl := range ScalingWorkloads(scale) {
+		for _, workers := range ScalingWorkerCounts() {
+			cfg := interp.DefaultConfig()
+			cfg.Workers = workers
+			var best ScalingRow
+			for rep := 0; rep < repeats || rep == 0; rep++ {
+				rp, st, err := wl.Compile()
+				if err != nil {
+					return nil, err
+				}
+				io := wl.NewIO()
+				start := time.Now()
+				eng := interp.New(rp, st, cfg)
+				if err := eng.Run(io); err != nil {
+					return nil, err
+				}
+				elapsed := time.Since(start)
+				if best.Wall == 0 || elapsed < best.Wall {
+					best = ScalingRow{
+						Workload: wl.FullName(),
+						Workers:  workers,
+						Wall:     elapsed,
+						Tuples:   eng.TotalTuples(),
+					}
+				}
+			}
+			best.TuplesPerSec = float64(best.Tuples) / best.Wall.Seconds()
+			rows = append(rows, best)
+			fmt.Fprintf(w, "%-22s %8d %12v %12d %14.0f\n",
+				best.Workload, best.Workers, best.Wall.Round(time.Microsecond), best.Tuples, best.TuplesPerSec)
+		}
+	}
+	return rows, nil
 }

@@ -22,6 +22,8 @@
 // runtime-comparator B-trees with no specialization at all.
 package interp
 
+import "sti/internal/metrics"
+
 // Config selects the interpreter variant.
 type Config struct {
 	// StaticDispatch enables the specialized instruction set (§4.1). When
@@ -64,6 +66,11 @@ type Config struct {
 	// evaluations (paper §3: thread-local context copies per worker).
 	// Values below 2 mean serial execution.
 	Workers int
+	// Metrics attaches a telemetry collector: per-relation and per-index
+	// counters, fixpoint convergence curves, parallel-scan statistics, and
+	// (when the collector has tracing enabled) span events. nil disables all
+	// telemetry; the hot paths then pay a nil check and nothing else.
+	Metrics *metrics.Collector
 }
 
 // DefaultConfig is the full STI: every optimization enabled.

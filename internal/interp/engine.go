@@ -3,6 +3,7 @@ package interp
 import (
 	"fmt"
 
+	"sti/internal/metrics"
 	"sti/internal/ram"
 	"sti/internal/ram/verify"
 	"sti/internal/relation"
@@ -20,6 +21,7 @@ type Engine struct {
 	root *inode
 	prof *profiler
 	prov *provenance
+	tel  *metrics.Collector // telemetry sink (nil = disabled)
 }
 
 // New prepares an engine: it materializes the de-specialized relations and
@@ -33,9 +35,22 @@ func New(prog *ram.Program, st *symtab.Table, cfg Config) *Engine {
 		}
 	}
 	cfg = cfg.normalize()
-	e := &Engine{prog: prog, cfg: cfg, st: st}
+	e := &Engine{prog: prog, cfg: cfg, st: st, tel: cfg.Metrics}
 	for _, rd := range prog.Relations {
 		e.rels = append(e.rels, buildRelation(rd, cfg))
+	}
+	// Bind telemetry before tree generation so the generated insert nodes can
+	// cache their target's stats block.
+	if e.tel != nil {
+		for i, rd := range prog.Relations {
+			rel := e.rels[i]
+			orders := make([]string, rel.NumIndexes())
+			for j := range orders {
+				orders[j] = fmt.Sprint([]int(rel.Index(j).Order()))
+			}
+			rel.AttachMetrics(e.tel.BindRelation(
+				rd.ID, rd.Name, rel.Rep().String(), rd.Arity, rd.Aux, rd.BaseID, orders))
+		}
 	}
 	g := &generator{eng: e, cfg: cfg}
 	e.root = g.genStatement(prog.Main)
@@ -82,7 +97,9 @@ func (e *Engine) Run(io IOHandler) (err error) {
 		io:      io,
 		prof:    e.prof,
 		prov:    e.prov,
+		tel:     e.tel,
 		profile: e.cfg.Profile,
+		count:   e.cfg.Profile || e.tel != nil,
 		lean:    e.cfg.LeanDispatch,
 		workers: e.cfg.Workers,
 	}
@@ -96,6 +113,7 @@ func (e *Engine) Run(io IOHandler) (err error) {
 		}
 	}()
 	ctx := &context{}
+	runStart := e.tel.Begin()
 	ex.eval(e.root, ctx)
 	if ex.profile {
 		// Dispatches outside any query (sequences, loops, IO) are folded
@@ -103,8 +121,21 @@ func (e *Engine) Run(io IOHandler) (err error) {
 		e.prof.dispatches += ctx.stats.dispatches
 		e.prof.super += ctx.stats.super
 	}
+	if e.tel != nil {
+		e.tel.End(runStart, "run", "run")
+		for _, rel := range e.rels {
+			if rs := rel.Stats(); rs != nil {
+				rs.FinalSize = rel.Size()
+			}
+		}
+		e.tel.Finish()
+	}
 	return nil
 }
+
+// Telemetry returns the engine's attached collector (nil unless
+// Config.Metrics was set).
+func (e *Engine) Telemetry() *metrics.Collector { return e.tel }
 
 // TotalTuples reports the number of tuples across all relations after a
 // run, for throughput metrics in the benchmarks.
@@ -117,12 +148,15 @@ func (e *Engine) TotalTuples() int {
 }
 
 // Profile returns the profiling report of the last Run (nil unless
-// Config.Profile was set).
+// Config.Profile was set). When the run also carried a metrics collector,
+// the engine-wide telemetry snapshot is attached.
 func (e *Engine) Profile() *Profile {
 	if e.prof == nil {
 		return nil
 	}
-	return e.prof.report()
+	p := e.prof.report()
+	p.Telemetry = e.tel.Report()
+	return p
 }
 
 // Relation returns the runtime relation by name, or nil.

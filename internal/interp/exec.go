@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"sti/internal/metrics"
 	"sti/internal/ram"
 	"sti/internal/relation"
 	"sti/internal/rtl"
@@ -17,12 +18,21 @@ import (
 // buffers (context.stage) that merge at the scan barrier, so no store is
 // ever mutated while another goroutine can observe it.
 type executor struct {
-	eng     *Engine
-	io      IOHandler
-	prof    *profiler
-	prov    *provenance
-	curQ    *inode // active query (provenance only)
+	eng  *Engine
+	io   IOHandler
+	prof *profiler
+	prov *provenance
+	curQ *inode // active query (provenance only)
+	// tel is the telemetry collector (nil = disabled). fix is the fixpoint
+	// record of the innermost LOOP being executed; statements only run on the
+	// coordinating goroutine, so no synchronization is needed.
+	tel     *metrics.Collector
+	fix     *metrics.FixpointStats
 	profile bool
+	// count enables the per-context operation counters: set when profiling
+	// or telemetry is on (telemetry needs iteration counts for the
+	// per-worker parallel statistics).
+	count   bool
 	lean    bool
 	workers int
 }
@@ -70,6 +80,9 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 		}
 		return 0
 	case opLoop:
+		if ex.tel != nil {
+			return ex.execLoopTelemetry(n, ctx)
+		}
 		for {
 			ex.eval(n.nested, ctx)
 			if ctx.exit {
@@ -80,6 +93,9 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 	case opExit:
 		if ex.eval(n.cond, ctx) != 0 {
 			ctx.exit = true
+		}
+		if ex.fix != nil && len(n.sampleRels) > 0 {
+			ex.sampleDeltas(n)
 		}
 		return 0
 	case opQuery:
@@ -92,6 +108,7 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 			ex.curQ = n
 			defer func() { ex.curQ = prevQ }()
 		}
+		qspan := ex.tel.Begin()
 		if ex.profile {
 			start := time.Now()
 			ex.eval(n.nested, qctx)
@@ -103,12 +120,15 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 			rp.Iterations += qctx.stats.iters
 			rp.Dispatches += qctx.stats.dispatches
 			rp.Inserts += qctx.stats.inserts
+			rp.Attempts += qctx.stats.attempts
 			ex.prof.dispatches += qctx.stats.dispatches
 			ex.prof.super += qctx.stats.super
+			ex.tel.End(qspan, "query", n.label)
 			return 0
 		}
 		ex.eval(n.nested, qctx)
 		ex.flushStage(qctx)
+		ex.tel.End(qspan, "query", n.label)
 		return 0
 	case opClear:
 		n.rel.Clear()
@@ -117,19 +137,25 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 		n.rel.SwapContents(n.rel2)
 		return 0
 	case opMerge:
+		mspan := ex.tel.Begin()
 		it := n.rel2.Scan()
 		for {
 			t, ok := it.Next()
 			if !ok {
+				ex.tel.End(mspan, "merge", n.rel.Name)
 				return 0
 			}
 			n.rel.Insert(t)
 		}
 	case opIO:
+		iospan := ex.tel.Begin()
 		ex.execIO(n)
+		ex.tel.End(iospan, "io", n.rel.Name)
 		return 0
 	case opLogTimer:
+		tspan := ex.tel.Begin()
 		ex.eval(n.nested, ctx)
+		ex.tel.End(tspan, "timer", n.label)
 		return 0
 
 	// --- operations (dynamic-adapter forms) ---
@@ -220,10 +246,12 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 			return 0
 		}
 		if n.rel.Insert(t[:n.arity]) {
-			ex.countInsert(ctx)
+			ex.countInsert(ctx, true)
 			if ex.prov != nil {
 				ex.recordDerivation(n, t[:n.arity], ctx)
 			}
+		} else {
+			ex.countInsert(ctx, false)
 		}
 		return 0
 	case opAggregate, opIndexAggregate:
@@ -314,6 +342,52 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 	panic(fmt.Sprintf("interp: unknown opcode %d", n.op))
 }
 
+// execLoopTelemetry is the telemetry variant of opLoop: it opens a fixpoint
+// record labeled with the RAM loop's stratum label, makes it current so the
+// loop's Exit samples per-iteration deltas into it, and emits one span per
+// iteration plus one for the whole fixpoint. Loops nest (a stratum inside a
+// log timer, say), so the previous fixpoint is restored on the way out.
+func (ex *executor) execLoopTelemetry(n *inode, ctx *context) value.Value {
+	fix := ex.tel.StartFixpoint(n.label)
+	prev := ex.fix
+	ex.fix = fix
+	loopSpan := ex.tel.Begin()
+	for {
+		iterNo := fix.Iterations
+		iterSpan := ex.tel.Begin()
+		ex.eval(n.nested, ctx)
+		if !iterSpan.IsZero() {
+			ex.tel.End(iterSpan, "fixpoint", fmt.Sprintf("iteration %d", iterNo))
+		}
+		if ctx.exit {
+			ctx.exit = false
+			break
+		}
+	}
+	if !loopSpan.IsZero() {
+		ex.tel.EndArgs(loopSpan, "fixpoint", n.label, map[string]any{"iterations": fix.Iterations})
+	}
+	ex.fix = prev
+	ex.tel.EndFixpoint(fix)
+	return 0
+}
+
+// sampleDeltas records the current iteration's fresh-tuple counts: at Exit
+// time every new_X relation of the stratum holds exactly the tuples derived
+// this iteration (the post-statements that merge and clear them have not run
+// yet). Per-relation peaks land on the base relation's stats.
+func (ex *executor) sampleDeltas(n *inode) {
+	sizes := make([]uint64, len(n.sampleRels))
+	for i, rel := range n.sampleRels {
+		sz := uint64(rel.Size())
+		sizes[i] = sz
+		if rs := n.sampleStats[i]; rs != nil && sz > rs.PeakDelta {
+			rs.PeakDelta = sz
+		}
+	}
+	ex.fix.RecordIteration(n.sampleNames, sizes)
+}
+
 // parallelScan partitions a full scan across workers, each with its own
 // context copy and its own staging buffers (paper §3). Workers never mutate
 // shared state: inserts land in worker-local buffers that mergeWorkers folds
@@ -353,7 +427,23 @@ func (ex *executor) parallelScan(n *inode, ctx *context) {
 		}(it, wctxs[i])
 	}
 	wg.Wait()
-	ex.mergeWorkers(ctx, wctxs)
+	if ex.tel != nil {
+		scanned := make([]uint64, len(wctxs))
+		staged := make([]uint64, len(wctxs))
+		for i, w := range wctxs {
+			scanned[i] = w.stats.iters
+			for _, b := range w.stage {
+				if b != nil {
+					staged[i] += uint64(b.Len())
+				}
+			}
+		}
+		mergeStart := time.Now()
+		ex.mergeWorkers(ctx, wctxs)
+		ex.tel.RecordParallelScan(scanned, staged, time.Since(mergeStart))
+	} else {
+		ex.mergeWorkers(ctx, wctxs)
+	}
 	if firstErr != nil {
 		panic(firstErr)
 	}
@@ -406,6 +496,7 @@ func (ex *executor) mergeWorkers(ctx *context, wctxs []*context) {
 	}
 	for _, w := range wctxs {
 		ctx.stats.iters += w.stats.iters
+		ctx.stats.attempts += w.stats.attempts
 		ctx.stats.dispatches += w.stats.dispatches
 		ctx.stats.super += w.stats.super
 		// Worker inserts were deferred to the staging buffers; the InsertAll
@@ -426,6 +517,11 @@ func (ex *executor) stageInsert(n *inode, ctx *context, t tuple.Tuple) bool {
 		ctx.stage[n.relID] = b
 	}
 	b.Add(t)
+	if ex.count {
+		// Staged tuples are insert attempts; the post-dedup fresh count is
+		// folded from InsertAll's return at the merge barrier.
+		ctx.stats.attempts++
+	}
 	return true
 }
 
@@ -447,14 +543,17 @@ func (ex *executor) flushStage(ctx *context) {
 }
 
 func (ex *executor) countIter(ctx *context) {
-	if ex.profile {
+	if ex.count {
 		ctx.stats.iters++
 	}
 }
 
-func (ex *executor) countInsert(ctx *context) {
-	if ex.profile {
-		ctx.stats.inserts++
+func (ex *executor) countInsert(ctx *context, added bool) {
+	if ex.count {
+		ctx.stats.attempts++
+		if added {
+			ctx.stats.inserts++
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sti/internal/compile"
+	"sti/internal/metrics"
 	"sti/internal/ram"
 	"sti/internal/relation"
 	"sti/internal/tuple"
@@ -51,9 +52,11 @@ func (g *generator) genStatement(s ram.Statement) *inode {
 		}
 		return n
 	case *ram.Loop:
-		return &inode{op: opLoop, nested: g.genStatement(s.Body), shadow: s}
+		return &inode{op: opLoop, label: s.Label, nested: g.genStatement(s.Body), shadow: s}
 	case *ram.Exit:
-		return &inode{op: opExit, cond: g.genCond(s.Cond), shadow: s}
+		n := &inode{op: opExit, cond: g.genCond(s.Cond), shadow: s}
+		g.collectSamples(n, n.cond)
+		return n
 	case *ram.Query:
 		g.coords = map[int32]tuple.Order{}
 		g.widths = map[int32]int32{}
@@ -279,6 +282,7 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 			staged: g.inParallel,
 			arity:  int32(rel.Arity()),
 			baseID: int32(o.Rel.BaseID),
+			rstats: rel.Stats(),
 			shadow: o,
 		}
 		for i := 0; i < rel.NumIndexes(); i++ {
@@ -338,6 +342,33 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 
 	default:
 		panic(fmt.Sprintf("interp: unknown RAM operation %T", o))
+	}
+}
+
+// collectSamples walks an Exit condition gathering the new_X relations its
+// emptiness checks test, giving the Exit node its delta-sampling payload:
+// the relations to size at exit-evaluation time, each labeled with the base
+// relation it shadows. The payload is built unconditionally (it is a
+// handful of pointers); the runtime only consults it under telemetry.
+func (g *generator) collectSamples(exit, cond *inode) {
+	switch cond.op {
+	case opAnd:
+		g.collectSamples(exit, cond.children[0])
+		g.collectSamples(exit, cond.children[1])
+	case opEmptiness:
+		check, ok := cond.shadow.(*ram.EmptinessCheck)
+		if !ok {
+			return
+		}
+		name := check.Rel.Name
+		var baseStats *metrics.RelationStats
+		if base := check.Rel.BaseID; base >= 0 && base < len(g.eng.rels) {
+			name = g.eng.prog.Relations[base].Name
+			baseStats = g.eng.rels[base].Stats()
+		}
+		exit.sampleRels = append(exit.sampleRels, cond.rel)
+		exit.sampleNames = append(exit.sampleNames, name)
+		exit.sampleStats = append(exit.sampleStats, baseStats)
 	}
 }
 

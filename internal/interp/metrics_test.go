@@ -1,0 +1,206 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sti/internal/metrics"
+	"sti/internal/tuple"
+)
+
+// runWithTelemetry executes src with a metrics collector attached and
+// returns the engine and the telemetry report.
+func runWithTelemetry(t testing.TB, src string, facts map[string][]tuple.Tuple, cfg Config) (*Engine, *metrics.Report) {
+	t.Helper()
+	tel := metrics.New()
+	cfg.Metrics = tel
+	eng, _ := run(t, src, facts, cfg)
+	return eng, tel.Report()
+}
+
+func relReport(t testing.TB, r *metrics.Report, name string) *metrics.RelationReport {
+	t.Helper()
+	for _, rel := range r.Relations {
+		if rel.Name == name {
+			return rel
+		}
+	}
+	t.Fatalf("relation %q missing from telemetry report", name)
+	return nil
+}
+
+// The delta curve of transitive closure over an n-edge chain is fully
+// determined: iteration i derives the paths of length i+1 (n-1-i of them),
+// and the loop exits after one final empty iteration — n iterations total,
+// matching the graph diameter.
+func TestTelemetryDeltaCurve(t *testing.T) {
+	const n = 8
+	tel := metrics.New()
+	cfg := DefaultConfig()
+	cfg.Metrics = tel
+	eng, _ := run(t, tcSrc, chainFacts(n), cfg)
+	r := tel.Report()
+
+	if len(r.Fixpoints) != 1 {
+		t.Fatalf("got %d fixpoints, want 1: %+v", len(r.Fixpoints), r.Fixpoints)
+	}
+	f := r.Fixpoints[0]
+	if f.Iterations != n {
+		t.Fatalf("iterations = %d, want the chain diameter %d (curve %v)",
+			f.Iterations, n, f.DeltaCurve)
+	}
+	if !strings.Contains(f.Label, "path") {
+		t.Fatalf("fixpoint label %q does not name the recursive relation", f.Label)
+	}
+	// Curve: n-1, n-2, …, 1, 0.
+	if len(f.DeltaCurve) != n {
+		t.Fatalf("curve has %d points, want %d: %v", len(f.DeltaCurve), n, f.DeltaCurve)
+	}
+	for i, d := range f.DeltaCurve {
+		want := uint64(0)
+		if i < n-1 {
+			want = uint64(n - 1 - i)
+		}
+		if d != want {
+			t.Fatalf("delta[%d] = %d, want %d (curve %v)", i, d, want, f.DeltaCurve)
+		}
+	}
+	if curve := f.RelationCurves["path"]; len(curve) != n {
+		t.Fatalf("per-relation curve = %v", curve)
+	}
+
+	// Relation stats: path holds all n(n+1)/2 pairs, every insert fresh
+	// (the semi-naive existence filter rejects re-derivations pre-insert),
+	// and the peak delta is the first recursive iteration's n-1 tuples.
+	path := relReport(t, r, "path")
+	total := uint64(n * (n + 1) / 2)
+	if path.Inserts != total || uint64(path.FinalSize) != total {
+		t.Fatalf("path inserts=%d size=%d, want %d", path.Inserts, path.FinalSize, total)
+	}
+	if path.PeakDelta != n-1 {
+		t.Fatalf("path peak delta = %d, want %d", path.PeakDelta, n-1)
+	}
+	if eng.Relation("path").Size() != int(total) {
+		t.Fatalf("engine size disagrees with telemetry")
+	}
+}
+
+// Counters must agree between serial and parallel execution: staging buffers
+// change where inserts happen, not how many.
+func TestTelemetryParallelSerialParity(t *testing.T) {
+	const n = 60
+	serialCfg := DefaultConfig()
+	serialCfg.Workers = 1
+	_, serial := runWithTelemetry(t, tcSrc, chainFacts(n), serialCfg)
+
+	parCfg := DefaultConfig()
+	parCfg.Workers = 4
+	_, par := runWithTelemetry(t, tcSrc, chainFacts(n), parCfg)
+
+	for _, name := range []string{"path", "edge"} {
+		s, p := relReport(t, serial, name), relReport(t, par, name)
+		if s.FinalSize != p.FinalSize {
+			t.Errorf("%s: final size serial=%d parallel=%d", name, s.FinalSize, p.FinalSize)
+		}
+		if s.Inserts != p.Inserts {
+			t.Errorf("%s: inserts serial=%d parallel=%d", name, s.Inserts, p.Inserts)
+		}
+		if s.DedupHits != p.DedupHits {
+			t.Errorf("%s: dedup serial=%d parallel=%d", name, s.DedupHits, p.DedupHits)
+		}
+		if s.PeakDelta != p.PeakDelta {
+			t.Errorf("%s: peak delta serial=%d parallel=%d", name, s.PeakDelta, p.PeakDelta)
+		}
+	}
+	if len(serial.Fixpoints) != 1 || len(par.Fixpoints) != 1 {
+		t.Fatalf("fixpoint counts: serial=%d parallel=%d", len(serial.Fixpoints), len(par.Fixpoints))
+	}
+	sf, pf := serial.Fixpoints[0], par.Fixpoints[0]
+	if sf.Iterations != pf.Iterations {
+		t.Fatalf("iterations: serial=%d parallel=%d", sf.Iterations, pf.Iterations)
+	}
+	for i := range sf.DeltaCurve {
+		if sf.DeltaCurve[i] != pf.DeltaCurve[i] {
+			t.Fatalf("delta curves diverge at %d: serial=%v parallel=%v",
+				i, sf.DeltaCurve, pf.DeltaCurve)
+		}
+	}
+	// The parallel run must actually have exercised the staging path.
+	if par.Parallel == nil || par.Parallel.Scans == 0 {
+		t.Fatal("parallel run recorded no partitioned scans")
+	}
+	var staged uint64
+	for _, w := range par.Parallel.Workers {
+		staged += w.Staged
+	}
+	if staged == 0 {
+		t.Fatal("parallel run staged no tuples")
+	}
+}
+
+// Trace output from a real run must parse and nest: run > fixpoint >
+// iteration spans, in microseconds.
+func TestTelemetryTraceFromRun(t *testing.T) {
+	tel := metrics.New()
+	tel.EnableTrace(0)
+	cfg := DefaultConfig()
+	cfg.Metrics = tel
+	run(t, tcSrc, chainFacts(6), cfg)
+
+	kept, dropped := tel.TraceEventCount()
+	if kept == 0 || dropped != 0 {
+		t.Fatalf("kept=%d dropped=%d", kept, dropped)
+	}
+	var b strings.Builder
+	if err := tel.WriteTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"traceEvents"`, `"cat":"fixpoint"`, `"iteration 0"`, `"cat":"run"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q", want)
+		}
+	}
+}
+
+// Profile.String must be deterministic: descending time, rule ID breaking
+// ties.
+func TestProfileStringDeterministic(t *testing.T) {
+	p := &Profile{Rules: []RuleProfile{
+		{RuleID: 3, Label: "c", Time: time.Millisecond},
+		{RuleID: 1, Label: "a", Time: time.Millisecond},
+		{RuleID: 2, Label: "b", Time: 2 * time.Millisecond},
+	}}
+	s := p.String()
+	ib, ia, ic := strings.Index(s, "b\n"), strings.Index(s, "a\n"), strings.Index(s, "c\n")
+	if ib == -1 || ia == -1 || ic == -1 || !(ib < ia && ia < ic) {
+		t.Fatalf("rule order wrong (want b, a, c):\n%s", s)
+	}
+	if p.String() != s {
+		t.Fatal("String not stable across calls")
+	}
+	// Sorting must not reorder the underlying slice.
+	if p.Rules[0].RuleID != 3 {
+		t.Fatal("String mutated the profile")
+	}
+}
+
+// With no collector attached, the telemetry hooks must stay off the
+// allocation path: the interpreter pays nil checks only.
+func TestDisabledTelemetryNoExtraWork(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Profile = true
+	eng, _ := run(t, tcSrc, chainFacts(10), cfg)
+	if eng.Telemetry() != nil {
+		t.Fatal("engine invented a collector")
+	}
+	if p := eng.Profile(); p == nil || p.Telemetry != nil {
+		t.Fatal("profile carries telemetry without a collector")
+	}
+	for _, name := range []string{"path", "edge"} {
+		if eng.Relation(name).Stats() != nil {
+			t.Fatalf("%s has stats bound without a collector", name)
+		}
+	}
+}

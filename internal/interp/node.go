@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"sti/internal/metrics"
 	"sti/internal/ram"
 	"sti/internal/relation"
 	"sti/internal/tuple"
@@ -140,6 +141,19 @@ type inode struct {
 	premRels   []int32
 	premExists []*inode
 
+	// Delta-sampling payload of an Exit node: the new_X relations its
+	// emptiness checks test, plus the base relation each shadows (name and
+	// telemetry block). At Exit time new_X holds exactly the fresh tuples of
+	// the current iteration, so sampling here yields the per-iteration delta
+	// curve of the enclosing fixpoint.
+	sampleRels  []*relation.Relation
+	sampleNames []string
+	sampleStats []*metrics.RelationStats
+
+	// rstats is the insert target's telemetry block (nil when telemetry is
+	// off), for the specialized insert paths that bypass Relation.Insert.
+	rstats *metrics.RelationStats
+
 	shadow any // source RAM node (static info), the paper's sPtr
 }
 
@@ -150,6 +164,7 @@ type inode struct {
 type opStats struct {
 	iters      uint64 // tuples visited by scans
 	inserts    uint64 // tuples newly inserted
+	attempts   uint64 // insert attempts (attempts - inserts = dedup hits)
 	dispatches uint64 // execute() calls
 	super      uint64 // dispatches avoided by super-instructions
 }
@@ -158,6 +173,7 @@ type opStats struct {
 func (s *opStats) add(o *opStats) {
 	s.iters += o.iters
 	s.inserts += o.inserts
+	s.attempts += o.attempts
 	s.dispatches += o.dispatches
 	s.super += o.super
 }

@@ -36,8 +36,11 @@ func evalInsertBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey to
 			added = true
 		}
 	}
-	if added {
-		ex.countInsert(ctx)
+	ex.countInsert(ctx, added)
+	if n.rstats != nil {
+		// The static path bypasses Relation.Insert (and its counters), so the
+		// relation-level stats are bumped here.
+		n.rstats.CountInsert(added)
 	}
 	return 0
 }
@@ -198,8 +201,10 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 			return 0, true
 		}
 		rel := n.impls[0].(*eqrel.Rel)
-		if rel.Insert(t[0], t[1]) {
-			ex.countInsert(ctx)
+		added := rel.Insert(t[0], t[1])
+		ex.countInsert(ctx, added)
+		if n.rstats != nil {
+			n.rstats.CountInsert(added)
 		}
 		return 0, true
 	case opScanEq:
@@ -263,8 +268,9 @@ func (ex *executor) execNonGeneric(n *inode, ctx *context) (value.Value, bool) {
 				added = true
 			}
 		}
-		if added {
-			ex.countInsert(ctx)
+		ex.countInsert(ctx, added)
+		if n.rstats != nil {
+			n.rstats.CountInsert(added)
 		}
 		return 0, true
 	case opScanBrie, opIndexScanBrie:

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RelationReport is the JSON-friendly snapshot of one relation's telemetry.
+type RelationReport struct {
+	RelationStats
+	Indexes []IndexOpsView `json:"indexes,omitempty"`
+}
+
+// RepReport aggregates relation telemetry per backing representation — the
+// btree/brie/eqrel breakdown of tuple traffic.
+type RepReport struct {
+	Rep       string `json:"rep"`
+	Relations int    `json:"relations"`
+	Tuples    int    `json:"tuples"`
+	Inserts   uint64 `json:"inserts"`
+	DedupHits uint64 `json:"dedup_hits"`
+}
+
+// Report is the complete, immutable snapshot of a run's telemetry.
+type Report struct {
+	DurationNs  int64             `json:"duration_ns"`
+	Relations   []*RelationReport `json:"relations,omitempty"`
+	Reps        []*RepReport      `json:"reps,omitempty"`
+	Fixpoints   []*FixpointStats  `json:"fixpoints,omitempty"`
+	Parallel    *ParallelStats    `json:"parallel,omitempty"`
+	TraceEvents int               `json:"trace_events,omitempty"`
+}
+
+// Report snapshots the collector. Safe to call after the run; calling it
+// mid-run gives a best-effort view.
+func (c *Collector) Report() *Report {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &Report{DurationNs: c.duration.Nanoseconds()}
+	reps := map[string]*RepReport{}
+	for _, rs := range c.relations {
+		rr := &RelationReport{RelationStats: *rs}
+		rr.Ops = nil // atomics stay out of the snapshot
+		for i, ops := range rs.Ops {
+			v := ops.View()
+			if i < len(rs.IndexOrders) {
+				v.Order = rs.IndexOrders[i]
+			}
+			rr.Indexes = append(rr.Indexes, v)
+		}
+		r.Relations = append(r.Relations, rr)
+		agg := reps[rs.Rep]
+		if agg == nil {
+			agg = &RepReport{Rep: rs.Rep}
+			reps[rs.Rep] = agg
+		}
+		agg.Relations++
+		agg.Tuples += rs.FinalSize
+		agg.Inserts += rs.Inserts
+		agg.DedupHits += rs.DedupHits
+	}
+	for _, agg := range reps {
+		r.Reps = append(r.Reps, agg)
+	}
+	sort.Slice(r.Reps, func(i, j int) bool { return r.Reps[i].Rep < r.Reps[j].Rep })
+	r.Fixpoints = append([]*FixpointStats{}, c.fixpoints...)
+	if c.parallel.Scans > 0 {
+		p := c.parallel
+		p.Workers = append([]*WorkerStats{}, c.parallel.Workers...)
+		r.Parallel = &p
+	}
+	if c.trace != nil {
+		r.TraceEvents = len(c.trace.events)
+	}
+	return r
+}
+
+// String renders a human-readable telemetry summary: the fixpoint
+// convergence curves, the busiest relations, and the parallel traffic.
+func (r *Report) String() string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "run time: %v\n", time.Duration(r.DurationNs).Round(time.Microsecond))
+	for _, f := range r.Fixpoints {
+		fmt.Fprintf(&b, "fixpoint %s: %d iterations, %v\n",
+			f.Label, f.Iterations, time.Duration(f.DurationNs).Round(time.Microsecond))
+		fmt.Fprintf(&b, "  delta curve: %s\n", curveString(f.DeltaCurve))
+	}
+	rels := append([]*RelationReport{}, r.Relations...)
+	sort.Slice(rels, func(i, j int) bool {
+		if rels[i].Inserts != rels[j].Inserts {
+			return rels[i].Inserts > rels[j].Inserts
+		}
+		return rels[i].Name < rels[j].Name
+	})
+	for _, rel := range rels {
+		if rel.Inserts == 0 && rel.DedupHits == 0 && rel.FinalSize == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %-6s size %-9d ins %-9d dup %-9d peakΔ %d\n",
+			rel.Name, rel.Rep, rel.FinalSize, rel.Inserts, rel.DedupHits, rel.PeakDelta)
+	}
+	if r.Parallel != nil {
+		p := r.Parallel
+		fmt.Fprintf(&b, "parallel: %d scans, %d partitions, merge %v, max skew %.2f\n",
+			p.Scans, p.Partitions, time.Duration(p.MergeNs).Round(time.Microsecond), p.MaxSkew)
+		for _, w := range p.Workers {
+			fmt.Fprintf(&b, "  worker %d: scanned %d, staged %d\n", w.Worker, w.Scanned, w.Staged)
+		}
+	}
+	return b.String()
+}
+
+// curveString compacts a delta curve for terminal output: full contents up
+// to 16 points, elided in the middle beyond that.
+func curveString(curve []uint64) string {
+	var b strings.Builder
+	write := func(xs []uint64) {
+		for i, x := range xs {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d", x)
+		}
+	}
+	if len(curve) <= 16 {
+		write(curve)
+	} else {
+		write(curve[:8])
+		fmt.Fprintf(&b, " … (%d more) … ", len(curve)-16)
+		write(curve[len(curve)-8:])
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// DefaultTraceCap bounds the number of recorded trace events so that long
+// runs with millions of query executions cannot exhaust memory; events past
+// the cap are counted but dropped.
+const DefaultTraceCap = 1 << 20
+
+// TraceEvent is one Chrome trace-event record ("X" complete events). Files
+// written by WriteTrace load in Perfetto and chrome://tracing.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// Trace is the bounded span log.
+type Trace struct {
+	events  []TraceEvent
+	cap     int
+	dropped uint64
+}
+
+// traceFile is the on-disk JSON envelope.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Dropped         uint64       `json:"droppedEvents,omitempty"`
+}
+
+// Begin opens a span: it returns the wall-clock start to hand back to End.
+// When tracing is disabled the zero time is returned and End is a no-op, so
+// span sites cost two nil checks and a clock read at most.
+func (c *Collector) Begin() time.Time {
+	if c == nil || c.trace == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// End closes a span opened by Begin, recording a complete event. Spans
+// nest purely by time range, which is exactly how Perfetto reconstructs the
+// stratum → iteration → query hierarchy on a single track.
+func (c *Collector) End(start time.Time, cat, name string) {
+	c.EndArgs(start, cat, name, nil)
+}
+
+// EndArgs is End with event arguments attached.
+func (c *Collector) EndArgs(start time.Time, cat, name string, args map[string]any) {
+	if c == nil || c.trace == nil || start.IsZero() {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.trace
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name:  name,
+		Cat:   cat,
+		Phase: "X",
+		TsUs:  float64(start.Sub(c.start).Nanoseconds()) / 1e3,
+		DurUs: float64(now.Sub(start).Nanoseconds()) / 1e3,
+		Args:  args,
+	})
+}
+
+// Instant records an instant ("i") marker event.
+func (c *Collector) Instant(cat, name string, args map[string]any) {
+	if c == nil || c.trace == nil {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.trace
+	if len(t.events) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Name:  name,
+		Cat:   cat,
+		Phase: "i",
+		TsUs:  float64(now.Sub(c.start).Nanoseconds()) / 1e3,
+		Args:  args,
+	})
+}
+
+// TraceEventCount reports how many events were recorded (and how many were
+// dropped past the cap).
+func (c *Collector) TraceEventCount() (kept int, dropped uint64) {
+	if c == nil || c.trace == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.trace.events), c.trace.dropped
+}
+
+// WriteTrace writes the recorded spans as Chrome trace-event JSON.
+func (c *Collector) WriteTrace(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := traceFile{DisplayTimeUnit: "ms"}
+	if c.trace != nil {
+		out.TraceEvents = c.trace.events
+		out.Dropped = c.trace.dropped
+	}
+	if out.TraceEvents == nil {
+		out.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

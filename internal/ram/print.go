@@ -120,7 +120,11 @@ func (p *printer) stmt(s Statement, depth int) {
 			p.stmt(st, depth)
 		}
 	case *Loop:
-		p.line(depth, []any{s}, "LOOP")
+		if s.Label != "" {
+			p.line(depth, []any{s}, "LOOP ; %s", s.Label)
+		} else {
+			p.line(depth, []any{s}, "LOOP")
+		}
 		p.stmt(s.Body, depth+1)
 		p.line(depth, []any{s}, "END LOOP")
 	case *Exit:

@@ -87,6 +87,9 @@ type Sequence struct {
 // Loop executes Body until an Exit statement fires.
 type Loop struct {
 	Body Statement
+	// Label names the fixpoint for diagnostics and telemetry (the stratum
+	// and its recursive relations); it carries no semantics.
+	Label string
 }
 
 // Exit breaks the innermost loop when Cond holds.

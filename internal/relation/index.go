@@ -24,6 +24,7 @@ package relation
 import (
 	"fmt"
 
+	"sti/internal/metrics"
 	"sti/internal/tuple"
 	"sti/internal/value"
 )
@@ -124,6 +125,13 @@ type Index interface {
 	// impl exposes the concrete specialized structure (e.g. a
 	// *btree.Tree[Tup3]) to the generated static instructions.
 	impl() any
+
+	// attachOps installs telemetry counters on the adapter. nil (the
+	// default) disables counting; every adapter operation then pays one nil
+	// check and nothing else. Counters only observe traffic that crosses
+	// the dynamic adapter — the interpreter's static instructions bypass
+	// the adapter (and its counters) by design.
+	attachOps(*metrics.IndexOps)
 }
 
 // Impl returns the concrete specialized data structure behind idx, for use

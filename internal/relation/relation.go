@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 
+	"sti/internal/metrics"
 	"sti/internal/tuple"
 )
 
@@ -16,6 +17,7 @@ type Relation struct {
 	arity   int
 	rep     Rep
 	indexes []Index
+	stats   *metrics.RelationStats
 }
 
 // New creates a relation with one index per given order. Orders must all
@@ -58,6 +60,25 @@ func NewIndex(rep Rep, order tuple.Order) Index {
 	}
 }
 
+// AttachMetrics installs telemetry counters: relation-level insert/dedup
+// stats plus one IndexOps block per index (rs.Ops must have one entry per
+// index, as allocated by Collector.BindRelation). A nil rs detaches nothing
+// and keeps telemetry disabled.
+func (r *Relation) AttachMetrics(rs *metrics.RelationStats) {
+	if rs == nil {
+		return
+	}
+	r.stats = rs
+	for i, idx := range r.indexes {
+		if i < len(rs.Ops) {
+			idx.attachOps(rs.Ops[i])
+		}
+	}
+}
+
+// Stats returns the attached telemetry block, or nil when telemetry is off.
+func (r *Relation) Stats() *metrics.RelationStats { return r.stats }
+
 // Arity reports the tuple width.
 func (r *Relation) Arity() int { return r.arity }
 
@@ -79,6 +100,9 @@ func (r *Relation) Insert(t tuple.Tuple) bool {
 	added := r.indexes[0].Insert(t)
 	for _, idx := range r.indexes[1:] {
 		idx.Insert(t)
+	}
+	if r.stats != nil {
+		r.stats.CountInsert(added)
 	}
 	return added
 }

@@ -71,7 +71,7 @@ const parallelMergeMin = 512
 func (r *Relation) InsertAll(bufs ...*StagingBuffer) int {
 	primary := r.indexes[0]
 	collect := len(r.indexes) > 1
-	added := 0
+	added, attempted := 0, 0
 	var fresh []value.Value
 	for _, b := range bufs {
 		if b == nil || b.count == 0 {
@@ -80,6 +80,7 @@ func (r *Relation) InsertAll(bufs ...*StagingBuffer) int {
 		if b.arity != r.arity {
 			panic(fmt.Sprintf("relation %s: staged arity %d does not match arity %d", r.Name, b.arity, r.arity))
 		}
+		attempted += b.count
 		for i := 0; i < b.count; i++ {
 			t := b.Tuple(i)
 			if primary.Insert(t) {
@@ -89,6 +90,9 @@ func (r *Relation) InsertAll(bufs ...*StagingBuffer) int {
 				}
 			}
 		}
+	}
+	if r.stats != nil {
+		r.stats.CountBulk(attempted, added)
 	}
 	if !collect || added == 0 {
 		return added
