@@ -9,6 +9,7 @@
 //	benchmark -fig reorder     static tuple reordering ablation (§5.5)
 //	benchmark -fig dispatch    lean dispatch ablation (§5.5)
 //	benchmark -fig scaling     worker-scaling sweep (wall time, tuples/s)
+//	benchmark -fig resident    resident incremental Apply vs re-running
 //	benchmark -table 1         first-run compile+execute ratios (Table 1)
 //	benchmark -all             everything
 //
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling")
+	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | resident")
 	table := flag.String("table", "", "table to reproduce: 1")
 	all := flag.Bool("all", false, "run every experiment")
 	scaleFlag := flag.String("scale", "small", "workload scale: small | medium | large")
@@ -106,6 +107,12 @@ func main() {
 		run("scaling", func() ([]bench.BenchRecord, error) {
 			rows, err := bench.Scaling(scale, *repeats, w)
 			return bench.ScalingRecords(rows), err
+		})
+	}
+	if *all || *fig == "resident" {
+		run("resident", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Resident(scale, *repeats, w)
+			return bench.ResidentRecords(rows), err
 		})
 	}
 	if *all || *fig == "portfolio" {

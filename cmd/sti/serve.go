@@ -1,0 +1,214 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"sti"
+)
+
+// cmdServe keeps a program resident and answers a line protocol on stdin:
+//
+//	+rel<TAB>v1<TAB>v2...   stage a fact insertion
+//	-rel<TAB>v1<TAB>v2...   stage a fact deletion
+//	apply                   absorb the staged batch, print "applied epoch=N"
+//	query rel[<TAB>p1...]   print matching rows ("_" field = wildcard),
+//	                        then "ok N"
+//	count rel               print the relation's size
+//	stats                   print database stats as one JSON line
+//	quit                    exit
+//
+// With -http, the same operations are served over HTTP (POST /apply with
+// +/- lines as the body, GET /query?rel=NAME&p=..., GET /stats) and the
+// stats are published through expvar at /debug/vars.
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	jobs := fs.Int("j", 1, "parallel workers for rule evaluation")
+	optimize := fs.Bool("O", false, "run RAM optimization passes (applies to initial evaluation only)")
+	httpAddr := fs.String("http", "", "also serve HTTP on this address (/apply, /query, /stats, /debug/vars)")
+	debug := debugFlag(fs)
+	file := parseWithFile(fs, args, "usage: sti serve program.dl [-j N] [-O] [-http addr]")
+	applyDebug(*debug)
+
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := sti.Parse(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s:%v", file, err))
+	}
+	if *optimize {
+		prog.Optimize()
+	}
+	db, err := prog.Open(sti.WithWorkers(*jobs))
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	if *httpAddr != "" {
+		expvar.Publish("sti.db", expvar.Func(func() any { return db.Stats() }))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, serveMux(db)); err != nil {
+				fatal(err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "sti: serving HTTP on %s\n", *httpAddr)
+	}
+	if err := serveLines(db, os.Stdin, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// serveLines drives the resident database from a line protocol. Errors in
+// individual commands are reported as "error: ..." lines and do not stop
+// the session; only I/O failures end it.
+func serveLines(db *sti.Database, r io.Reader, w io.Writer) error {
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	batch := db.NewBatch()
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		head := fields[0]
+		switch {
+		case strings.HasPrefix(head, "+"):
+			batch.AddText(head[1:], fields[1:])
+			if err := batch.Err(); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				batch = db.NewBatch()
+			}
+		case strings.HasPrefix(head, "-"):
+			batch.DeleteText(head[1:], fields[1:])
+			if err := batch.Err(); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				batch = db.NewBatch()
+			}
+		default:
+			words := strings.Fields(head)
+			if len(words) == 0 {
+				continue
+			}
+			switch words[0] {
+			case "apply":
+				if err := db.Apply(batch); err != nil {
+					fmt.Fprintf(out, "error: %v\n", err)
+				} else {
+					fmt.Fprintf(out, "applied epoch=%d\n", db.Epoch())
+				}
+				batch = db.NewBatch()
+			case "query":
+				if len(words) != 2 {
+					fmt.Fprintln(out, "error: usage: query rel[<TAB>pattern...]")
+					break
+				}
+				rows, err := db.QueryText(words[1], fields[1:])
+				if err != nil {
+					fmt.Fprintf(out, "error: %v\n", err)
+					break
+				}
+				for _, row := range rows {
+					fmt.Fprintln(out, strings.Join(row, "\t"))
+				}
+				fmt.Fprintf(out, "ok %d\n", len(rows))
+			case "count":
+				if len(words) != 2 {
+					fmt.Fprintln(out, "error: usage: count rel")
+					break
+				}
+				n, err := db.Size(words[1])
+				if err != nil {
+					fmt.Fprintf(out, "error: %v\n", err)
+					break
+				}
+				fmt.Fprintf(out, "%d\n", n)
+			case "stats":
+				enc, err := json.Marshal(db.Stats())
+				if err != nil {
+					fmt.Fprintf(out, "error: %v\n", err)
+					break
+				}
+				fmt.Fprintf(out, "%s\n", enc)
+			case "quit", "exit":
+				return out.Flush()
+			default:
+				fmt.Fprintf(out, "error: unknown command %q\n", words[0])
+			}
+		}
+		if err := out.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// serveMux exposes the database over HTTP.
+func serveMux(db *sti.Database) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(db.Stats())
+	})
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		rel := r.URL.Query().Get("rel")
+		if rel == "" {
+			http.Error(w, "missing rel parameter", http.StatusBadRequest)
+			return
+		}
+		rows, err := db.QueryText(rel, r.URL.Query()["p"])
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rows)
+	})
+	mux.HandleFunc("/apply", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		batch := db.NewBatch()
+		for _, line := range strings.Split(string(body), "\n") {
+			if line == "" {
+				continue
+			}
+			fields := strings.Split(line, "\t")
+			switch {
+			case strings.HasPrefix(fields[0], "+"):
+				batch.AddText(fields[0][1:], fields[1:])
+			case strings.HasPrefix(fields[0], "-"):
+				batch.DeleteText(fields[0][1:], fields[1:])
+			default:
+				http.Error(w, fmt.Sprintf("bad line %q: want +rel or -rel", line), http.StatusBadRequest)
+				return
+			}
+		}
+		if err := db.Apply(batch); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"epoch": db.Epoch(), "staged": batch.Len()})
+	})
+	return mux
+}

@@ -1,0 +1,519 @@
+package sti
+
+import (
+	"errors"
+	"fmt"
+
+	"sti/internal/eio"
+	"sti/internal/interp"
+	"sti/internal/ram"
+	"sti/internal/relation"
+	"sti/internal/tuple"
+)
+
+// Database is a resident instance of a program: the materialized IDB stays
+// loaded between calls, fact batches are absorbed with Apply, and reads are
+// served straight from the resident indexes. One goroutine may Apply at a
+// time (writers serialize on an internal lock); any number of goroutines
+// may Query/Scan concurrently — readers share epoch-guarded snapshots and
+// never block each other, and never observe a half-applied batch.
+//
+// Insert-only batches of an insert-monotone program (no negation, no
+// aggregates) re-evaluate incrementally via the program's delta-restart
+// update entry point; batches with deletions — and all batches of
+// non-monotone programs — fall back to a full recomputation on the
+// accumulated fact set.
+type Database struct {
+	prog  *Program
+	eng   *interp.Engine
+	guard relation.EpochGuard
+
+	// facts accumulates every fact applied so far, by relation, for the
+	// full-recompute fallback. Mutated only under the writer side.
+	facts map[string][]tuple.Tuple
+
+	closed bool
+	// broken marks a database whose engine hit a runtime error mid-apply
+	// and may hold a partial fixpoint; every later operation fails.
+	broken error
+
+	applies     uint64
+	incremental uint64
+	recomputes  uint64
+}
+
+// Open evaluates the program to its initial fixpoint (program facts only;
+// EDB arrives through Apply) and returns a resident database. The
+// interpreter backend is required, and provenance is not supported.
+func (p *Program) Open(opts ...Option) (*Database, error) {
+	var o runOptions
+	o.cfg = interp.DefaultConfig()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.backend == Compiled {
+		return nil, errors.New("sti: resident databases require the interpreter backend")
+	}
+	if o.provenance || o.cfg.Provenance {
+		return nil, errors.New("sti: resident databases do not support provenance")
+	}
+	cfg := o.cfg
+	cfg.Profile = false
+	cfg.Provenance = false
+	if o.workers > 0 {
+		cfg.Workers = o.workers
+	}
+	eng := interp.New(p.ram, p.st, cfg)
+	if err := eng.Load(interp.NewMemIO()); err != nil {
+		return nil, err
+	}
+	if err := eng.Eval(); err != nil {
+		return nil, err
+	}
+	return &Database{prog: p, eng: eng, facts: map[string][]tuple.Tuple{}}, nil
+}
+
+// Incremental reports whether the program supports incremental insert-only
+// batches (it is insert-monotone, so a delta-restart update program was
+// emitted at translation time).
+func (db *Database) Incremental() bool { return db.eng.Incremental() }
+
+// Epoch returns the number of completed Apply calls (including Close).
+func (db *Database) Epoch() uint64 { return db.guard.Epoch() }
+
+// Close marks the database closed; subsequent operations fail. It waits
+// for in-flight snapshots and writers.
+func (db *Database) Close() error {
+	db.guard.BeginWrite()
+	defer db.guard.EndWrite()
+	db.closed = true
+	return nil
+}
+
+var errClosed = errors.New("sti: database is closed")
+
+// --- batches ---
+
+// Batch stages fact insertions and deletions for one Apply call. Values
+// convert like Input.Add. Within a batch, deletions apply after
+// insertions. Deleting a fact that was never applied is a no-op; only EDB
+// facts added through Apply can be deleted (program facts and derived
+// tuples cannot).
+type Batch struct {
+	db   *Database
+	ins  []batchFact
+	dels []batchFact
+	err  error
+}
+
+type batchFact struct {
+	rel string
+	t   tuple.Tuple
+}
+
+// NewBatch returns an empty batch for the database.
+func (db *Database) NewBatch() *Batch { return &Batch{db: db} }
+
+// Add stages one fact insertion.
+func (b *Batch) Add(name string, values ...any) *Batch {
+	if f, ok := b.encode(name, values); ok {
+		b.ins = append(b.ins, f)
+	}
+	return b
+}
+
+// Delete stages one fact deletion.
+func (b *Batch) Delete(name string, values ...any) *Batch {
+	if f, ok := b.encode(name, values); ok {
+		b.dels = append(b.dels, f)
+	}
+	return b
+}
+
+// AddText stages one insertion from tab-separated text fields, parsed by
+// attribute type with the fact-file conventions (quoted symbols allowed).
+func (b *Batch) AddText(name string, fields []string) *Batch {
+	if f, ok := b.encodeText(name, fields); ok {
+		b.ins = append(b.ins, f)
+	}
+	return b
+}
+
+// DeleteText stages one deletion from tab-separated text fields.
+func (b *Batch) DeleteText(name string, fields []string) *Batch {
+	if f, ok := b.encodeText(name, fields); ok {
+		b.dels = append(b.dels, f)
+	}
+	return b
+}
+
+// Err returns the first conversion error, if any (also returned by Apply).
+func (b *Batch) Err() error { return b.err }
+
+// Len reports the number of staged insertions and deletions.
+func (b *Batch) Len() int { return len(b.ins) + len(b.dels) }
+
+func (b *Batch) encode(name string, values []any) (batchFact, bool) {
+	if b.err != nil {
+		return batchFact{}, false
+	}
+	decl, err := b.db.prog.decl(name)
+	if err != nil {
+		b.err = err
+		return batchFact{}, false
+	}
+	if len(values) != decl.Arity {
+		b.err = fmt.Errorf("sti: relation %s has arity %d, got %d values", name, decl.Arity, len(values))
+		return batchFact{}, false
+	}
+	t := make(tuple.Tuple, decl.Arity)
+	for i, v := range values {
+		w, err := b.db.prog.encode(decl.Types[i], v)
+		if err != nil {
+			b.err = fmt.Errorf("sti: %s argument %d: %v", name, i, err)
+			return batchFact{}, false
+		}
+		t[i] = w
+	}
+	return batchFact{rel: name, t: t}, true
+}
+
+func (b *Batch) encodeText(name string, fields []string) (batchFact, bool) {
+	if b.err != nil {
+		return batchFact{}, false
+	}
+	decl, err := b.db.prog.decl(name)
+	if err != nil {
+		b.err = err
+		return batchFact{}, false
+	}
+	if len(fields) != decl.Arity {
+		b.err = fmt.Errorf("sti: relation %s has arity %d, got %d fields", name, decl.Arity, len(fields))
+		return batchFact{}, false
+	}
+	t := make(tuple.Tuple, decl.Arity)
+	for i, f := range fields {
+		v, err := eio.ParseField(f, decl.Types[i], b.db.prog.st)
+		if err != nil {
+			b.err = fmt.Errorf("sti: %s field %d: %v", name, i, err)
+			return batchFact{}, false
+		}
+		t[i] = v
+	}
+	return batchFact{rel: name, t: t}, true
+}
+
+// Apply absorbs a batch and re-evaluates the database to the new fixpoint.
+// Insert-only batches of incremental programs run the delta-restart update
+// program: each stratum is re-entered seeded only with the fresh tuples.
+// Otherwise the engine recomputes from the accumulated facts. Apply blocks
+// until all outstanding snapshots are released, and bumps the epoch.
+func (db *Database) Apply(b *Batch) error {
+	if b.err != nil {
+		return b.err
+	}
+	db.guard.BeginWrite()
+	defer db.guard.EndWrite()
+	if db.closed {
+		return errClosed
+	}
+	if db.broken != nil {
+		return db.broken
+	}
+	// Record the batch into the accumulated fact set.
+	for _, f := range b.ins {
+		db.facts[f.rel] = append(db.facts[f.rel], f.t)
+	}
+	for _, f := range b.dels {
+		ts := db.facts[f.rel]
+		kept := ts[:0]
+		for _, t := range ts {
+			if !tuple.Equal(t, f.t) {
+				kept = append(kept, t)
+			}
+		}
+		db.facts[f.rel] = kept
+	}
+	db.applies++
+	if len(b.dels) == 0 && db.eng.Incremental() {
+		return db.applyIncremental(b)
+	}
+	return db.recompute()
+}
+
+func (db *Database) applyIncremental(b *Batch) error {
+	// Stage fresh tuples into the base relations and their recent_R
+	// freshness trackers, preserving batch order per relation.
+	staged := map[string][]tuple.Tuple{}
+	var order []string
+	for _, f := range b.ins {
+		if _, seen := staged[f.rel]; !seen {
+			order = append(order, f.rel)
+		}
+		staged[f.rel] = append(staged[f.rel], f.t)
+	}
+	for _, name := range order {
+		if _, err := db.eng.InsertFacts(name, staged[name]); err != nil {
+			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+			return err
+		}
+	}
+	if err := db.eng.EvalUpdate(); err != nil {
+		db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+		return err
+	}
+	db.incremental++
+	return nil
+}
+
+// recompute rebuilds the fixpoint from scratch: clear everything, replay
+// the accumulated facts, evaluate. Relation and index structures are
+// reused across recomputations.
+func (db *Database) recompute() error {
+	db.eng.Reset()
+	for _, rd := range db.prog.ram.Relations {
+		if rd.Aux {
+			continue
+		}
+		if ts := db.facts[rd.Name]; len(ts) > 0 {
+			if _, err := db.eng.InsertFacts(rd.Name, ts); err != nil {
+				db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+				return err
+			}
+		}
+	}
+	if err := db.eng.Eval(); err != nil {
+		db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+		return err
+	}
+	db.eng.ClearRecents()
+	db.recomputes++
+	return nil
+}
+
+// --- reads ---
+
+// Snapshot pins a consistent view of the database. Queries on the snapshot
+// all observe the same epoch; Apply calls block until it is released, so
+// snapshots should be short-lived. Use one snapshot per goroutine.
+func (db *Database) Snapshot() *Snapshot {
+	return &Snapshot{db: db, h: db.guard.Acquire()}
+}
+
+// Snapshot is a pinned read view of a Database. It is not safe for
+// concurrent use by multiple goroutines; each reader acquires its own.
+type Snapshot struct {
+	db *Database
+	h  *relation.SnapshotHandle
+}
+
+// Epoch reports the epoch this snapshot pinned.
+func (s *Snapshot) Epoch() uint64 { return s.h.Epoch() }
+
+// Release unpins the snapshot, letting writers proceed. Releasing twice is
+// a no-op; using a released snapshot fails.
+func (s *Snapshot) Release() { s.h.Release() }
+
+func (s *Snapshot) check() error {
+	if s.h.Released() {
+		return errors.New("sti: snapshot already released")
+	}
+	if s.db.closed {
+		return errClosed
+	}
+	if s.db.broken != nil {
+		return s.db.broken
+	}
+	return nil
+}
+
+// Query returns the decoded rows of a relation matching a pattern. With no
+// pattern, all rows are returned; otherwise one value per attribute, where
+// nil is a wildcard and anything else must match (converted like
+// Input.Add). Rows come back in a deterministic index order.
+func (s *Snapshot) Query(name string, pattern ...any) ([][]any, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	decl, err := s.db.prog.decl(name)
+	if err != nil {
+		return nil, err
+	}
+	probe := make(tuple.Tuple, decl.Arity)
+	mask := make([]bool, decl.Arity)
+	if len(pattern) > 0 {
+		if len(pattern) != decl.Arity {
+			return nil, fmt.Errorf("sti: relation %s has arity %d, got a pattern of %d values", name, decl.Arity, len(pattern))
+		}
+		for i, v := range pattern {
+			if v == nil {
+				continue
+			}
+			w, err := s.db.prog.encode(decl.Types[i], v)
+			if err != nil {
+				return nil, fmt.Errorf("sti: %s argument %d: %v", name, i, err)
+			}
+			probe[i] = w
+			mask[i] = true
+		}
+	}
+	ts, err := s.db.eng.Query(name, probe, mask)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.decodeRows(decl, ts), nil
+}
+
+// QueryText runs Query with text pattern fields ("_" is a wildcard; an
+// empty pattern returns all rows) and returns rows rendered in fact-file
+// form. It backs the sti serve line protocol.
+func (s *Snapshot) QueryText(name string, pattern []string) ([][]string, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	decl, err := s.db.prog.decl(name)
+	if err != nil {
+		return nil, err
+	}
+	probe := make(tuple.Tuple, decl.Arity)
+	mask := make([]bool, decl.Arity)
+	if len(pattern) > 0 {
+		if len(pattern) != decl.Arity {
+			return nil, fmt.Errorf("sti: relation %s has arity %d, got a pattern of %d fields", name, decl.Arity, len(pattern))
+		}
+		for i, f := range pattern {
+			if f == "_" {
+				continue
+			}
+			v, err := eio.ParseField(f, decl.Types[i], s.db.prog.st)
+			if err != nil {
+				return nil, fmt.Errorf("sti: %s field %d: %v", name, i, err)
+			}
+			probe[i] = v
+			mask[i] = true
+		}
+	}
+	ts, err := s.db.eng.Query(name, probe, mask)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]string, 0, len(ts))
+	for _, t := range ts {
+		row := make([]string, len(t))
+		for i, w := range t {
+			row[i] = eio.FormatField(w, decl.Types[i], s.db.prog.st)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Scan returns the decoded rows of a relation whose first attribute lies
+// in [lo, hi] (values converted like Input.Add), in primary-index order.
+func (s *Snapshot) Scan(name string, lo, hi any) ([][]any, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	decl, err := s.db.prog.decl(name)
+	if err != nil {
+		return nil, err
+	}
+	if decl.Arity == 0 {
+		return nil, fmt.Errorf("sti: relation %s has no attributes to range over", name)
+	}
+	loW, err := s.db.prog.encode(decl.Types[0], lo)
+	if err != nil {
+		return nil, fmt.Errorf("sti: %s lower bound: %v", name, err)
+	}
+	hiW, err := s.db.prog.encode(decl.Types[0], hi)
+	if err != nil {
+		return nil, fmt.Errorf("sti: %s upper bound: %v", name, err)
+	}
+	ts, err := s.db.eng.ScanRange(name, loW, hiW)
+	if err != nil {
+		return nil, err
+	}
+	return s.db.decodeRows(decl, ts), nil
+}
+
+// Size reports the number of tuples in a relation.
+func (s *Snapshot) Size(name string) (int, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	if _, err := s.db.prog.decl(name); err != nil {
+		return 0, err
+	}
+	return s.db.eng.Relation(name).Size(), nil
+}
+
+func (db *Database) decodeRows(decl *ram.Relation, ts []tuple.Tuple) [][]any {
+	out := make([][]any, 0, len(ts))
+	for _, t := range ts {
+		row := make([]any, len(t))
+		for i, w := range t {
+			row[i] = db.prog.decode(decl.Types[i], w)
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// Query is the one-shot form of Snapshot().Query: it pins a snapshot for
+// the duration of the call.
+func (db *Database) Query(name string, pattern ...any) ([][]any, error) {
+	s := db.Snapshot()
+	defer s.Release()
+	return s.Query(name, pattern...)
+}
+
+// QueryText is the one-shot form of Snapshot().QueryText.
+func (db *Database) QueryText(name string, pattern []string) ([][]string, error) {
+	s := db.Snapshot()
+	defer s.Release()
+	return s.QueryText(name, pattern)
+}
+
+// Scan is the one-shot form of Snapshot().Scan.
+func (db *Database) Scan(name string, lo, hi any) ([][]any, error) {
+	s := db.Snapshot()
+	defer s.Release()
+	return s.Scan(name, lo, hi)
+}
+
+// Size is the one-shot form of Snapshot().Size.
+func (db *Database) Size(name string) (int, error) {
+	s := db.Snapshot()
+	defer s.Release()
+	return s.Size(name)
+}
+
+// DBStats is a point-in-time summary of a resident database.
+type DBStats struct {
+	Epoch              uint64         `json:"epoch"`
+	Applies            uint64         `json:"applies"`
+	IncrementalApplies uint64         `json:"incremental_applies"`
+	Recomputes         uint64         `json:"recomputes"`
+	Incremental        bool           `json:"incremental"`
+	Relations          map[string]int `json:"relations"`
+}
+
+// Stats reports apply counters and per-relation sizes under a snapshot.
+func (db *Database) Stats() DBStats {
+	s := db.Snapshot()
+	defer s.Release()
+	st := DBStats{
+		Epoch:              s.Epoch(),
+		Applies:            db.applies,
+		IncrementalApplies: db.incremental,
+		Recomputes:         db.recomputes,
+		Incremental:        db.eng.Incremental(),
+		Relations:          map[string]int{},
+	}
+	for _, rd := range db.prog.ram.Relations {
+		if !rd.Aux {
+			st.Relations[rd.Name] = db.eng.Relation(rd.Name).Size()
+		}
+	}
+	return st
+}

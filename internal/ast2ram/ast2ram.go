@@ -40,6 +40,7 @@ func Translate(p *sema.Program, st *symtab.Table) (*ram.Program, error) {
 		rels:    map[string]*ram.Relation{},
 		deltas:  map[string]*ram.Relation{},
 		news:    map[string]*ram.Relation{},
+		recents: map[string]*ram.Relation{},
 		pending: map[*ram.Relation][]patch{},
 	}
 	if err := t.run(); err != nil {
@@ -67,12 +68,14 @@ type translator struct {
 	st  *symtab.Table
 	out *ram.Program
 
-	rels   map[string]*ram.Relation // source relations by name
-	deltas map[string]*ram.Relation // delta_R by source name
-	news   map[string]*ram.Relation // new_R by source name
+	rels    map[string]*ram.Relation // source relations by name
+	deltas  map[string]*ram.Relation // delta_R by source name
+	news    map[string]*ram.Relation // new_R by source name
+	recents map[string]*ram.Relation // recent_R by source name (update program)
 
-	pending map[*ram.Relation][]patch
-	ruleID  int
+	pending  map[*ram.Relation][]patch
+	ruleID   int
+	monotone bool // insert-monotone: no negation, no aggregates
 }
 
 func (t *translator) run() error {
@@ -89,6 +92,7 @@ func (t *translator) run() error {
 			Input:     r.Input,
 			Output:    r.Output,
 			PrintSize: r.PrintSize,
+			Stratum:   r.Stratum,
 		}
 		rel.BaseID = rel.ID
 		t.out.Relations = append(t.out.Relations, rel)
@@ -103,12 +107,28 @@ func (t *translator) run() error {
 		for _, r := range s.Rels {
 			base := t.rels[r.Name()]
 			if base.Rep == ram.RepEqRel {
-				nw := t.auxRelation("new_"+r.Name(), base)
+				nw := t.auxRelation("new_"+r.Name(), base, ram.AuxNew)
 				t.news[r.Name()] = nw
 				continue
 			}
-			t.deltas[r.Name()] = t.auxRelation("delta_"+r.Name(), base)
-			t.news[r.Name()] = t.auxRelation("new_"+r.Name(), base)
+			t.deltas[r.Name()] = t.auxRelation("delta_"+r.Name(), base, ram.AuxDelta)
+			t.news[r.Name()] = t.auxRelation("new_"+r.Name(), base, ram.AuxNew)
+		}
+	}
+	// Declare recent_R freshness trackers for the update program. Every
+	// non-eqrel source relation gets one: it holds the tuples that became
+	// true since the last Apply batch, so later strata can restart from
+	// them. EqRel relations are excluded — their union-find representation
+	// implies pairs that no per-tuple tracker can observe, so update rules
+	// reading an out-of-stratum eqrel atom re-read the full relation.
+	t.monotone = monotone(t.sem)
+	if t.monotone {
+		for _, r := range t.sem.RelList {
+			base := t.rels[r.Name()]
+			if base.Rep == ram.RepEqRel {
+				continue
+			}
+			t.recents[r.Name()] = t.auxRelation("recent_"+r.Name(), base, ram.AuxRecent)
 		}
 	}
 
@@ -152,27 +172,76 @@ func (t *translator) run() error {
 		}
 	}
 	t.out.Main = &ram.Sequence{Stmts: main}
+
+	// Update program: a delta-restart variant of every stratum, entered by
+	// resident engines after fresh facts were staged into recent_R.
+	if t.monotone {
+		var upd []ram.Statement
+		for _, s := range t.sem.Strata {
+			stmt, err := t.translateStratumUpdate(s)
+			if err != nil {
+				return err
+			}
+			if stmt != nil {
+				upd = append(upd, stmt)
+			}
+		}
+		// Drain every freshness tracker so the next Apply starts clean.
+		for _, r := range t.sem.RelList {
+			if rc := t.recents[r.Name()]; rc != nil {
+				upd = append(upd, &ram.Clear{Rel: rc})
+			}
+		}
+		t.out.Update = &ram.Sequence{Stmts: upd}
+	}
 	t.out.NumRules = t.ruleID
 
 	t.selectIndexes()
 	return nil
 }
 
-// auxRelation declares a delta/new companion. Aux relations of eqrel
+// monotone reports whether the program is insert-monotone: adding EDB facts
+// can only add derived tuples, never retract one. Negation and aggregates
+// break this, and gate the emission of the incremental update program.
+func monotone(p *sema.Program) bool {
+	for _, r := range p.RelList {
+		for _, c := range r.Clauses {
+			for _, l := range c.Body {
+				if _, ok := l.(*ast.Negation); ok {
+					return false
+				}
+			}
+			agg := false
+			c.Walk(func(e ast.Expr) {
+				if _, ok := e.(*ast.Aggregate); ok {
+					agg = true
+				}
+			})
+			if agg {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// auxRelation declares a delta/new/recent companion. Aux relations of eqrel
 // sources are plain B-trees of explicit pairs.
-func (t *translator) auxRelation(name string, base *ram.Relation) *ram.Relation {
+func (t *translator) auxRelation(name string, base *ram.Relation, kind ram.AuxKind) *ram.Relation {
 	rep := base.Rep
 	if rep == ram.RepEqRel {
 		rep = ram.RepBTree
 	}
 	rel := &ram.Relation{
-		ID:     len(t.out.Relations),
-		Name:   name,
-		Arity:  base.Arity,
-		Types:  base.Types,
-		Rep:    rep,
-		Aux:    true,
-		BaseID: base.ID,
+		ID:      len(t.out.Relations),
+		Name:    name,
+		Arity:   base.Arity,
+		Types:   base.Types,
+		Rep:     rep,
+		Aux:     true,
+		Kind:    kind,
+		BaseID:  base.ID,
+		Stratum: base.Stratum,
 	}
 	t.out.Relations = append(t.out.Relations, rel)
 	return rel
@@ -346,6 +415,11 @@ type version struct {
 	deltaPos int           // body index of the atom read from delta_R
 	useDelta bool
 	naive    bool // recursive via eqrel only; all in-stratum atoms read full
+	// Update-program restart variants read the freshness tracker recent_X
+	// at one out-of-stratum body position (and the full relations
+	// everywhere else).
+	recentPos int
+	useRecent bool
 }
 
 // --- facts ---

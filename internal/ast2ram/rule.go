@@ -57,6 +57,9 @@ func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, err
 				ba.rel = t.deltas[l.Name]
 				ba.isDelta = true
 			}
+			if v.useRecent && i == v.recentPos {
+				ba.rel = t.recents[l.Name]
+			}
 			atoms = append(atoms, ba)
 		default:
 			defers = append(defers, deferred{lit: l})
@@ -151,6 +154,9 @@ func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, err
 	label := c.String()
 	if v.useDelta {
 		label += fmt.Sprintf(" [delta@%d]", v.deltaPos)
+	}
+	if v.useRecent {
+		label += fmt.Sprintf(" [recent@%d]", v.recentPos)
 	}
 	t.ruleID++
 	return &ram.Query{

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sti/internal/interp"
+)
+
+// residentSrc is the resident-engine benchmark program: transitive closure,
+// the workload shape the delta-restart update program is built for.
+const residentSrc = `
+.decl edge(x:number, y:number)
+.decl path(x:number, y:number)
+.input edge
+.output path
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+`
+
+// residentShape sizes the component-chain workload: components disjoint
+// chains of chainLen nodes each (base edges = components*(chainLen-1)),
+// then batches small insert batches, each extending batchSize distinct
+// components by one tail node. Component i owns node ids [i*stride,
+// (i+1)*stride), so extensions never collide.
+type residentShape struct {
+	components int
+	chainLen   int
+	batches    int
+	batchSize  int
+}
+
+const residentStride = 1 << 16
+
+func residentShapeAt(scale Scale) residentShape {
+	return residentShape{
+		components: []int{100, 1112, 2223}[scale],
+		chainLen:   10,
+		batches:    []int{5, 10, 20}[scale],
+		batchSize:  10,
+	}
+}
+
+func (s residentShape) baseEdges() []tupleT {
+	var out []tupleT
+	for c := 0; c < s.components; c++ {
+		for i := 0; i < s.chainLen-1; i++ {
+			out = append(out, tupleT{num(c*residentStride + i), num(c*residentStride + i + 1)})
+		}
+	}
+	return out
+}
+
+// batchEdges returns the edges of batch b: one chain extension per touched
+// component, round-robin over components.
+func (s residentShape) batchEdges(b int) []tupleT {
+	var out []tupleT
+	for j := 0; j < s.batchSize; j++ {
+		k := b*s.batchSize + j
+		c := k % s.components
+		ext := k / s.components // 0-based extension count for component c
+		tail := c*residentStride + s.chainLen - 1 + ext
+		out = append(out, tupleT{num(tail), num(tail + 1)})
+	}
+	return out
+}
+
+// ResidentRow is one resident-engine measurement: the wall time to absorb
+// all batches either incrementally (resident apply) or by re-running from
+// scratch on the union after every batch.
+type ResidentRow struct {
+	Workload  string
+	Variant   string // "apply" (resident, incremental) or "rerun" (from scratch)
+	Batches   int
+	BatchSize int
+	Wall      time.Duration
+	Tuples    int     // path tuples at the end
+	Ratio     float64 // rerun wall / apply wall, on the apply row
+}
+
+// Resident measures the resident engine against the one-shot engine on the
+// same stream of insert batches: a component-chain base (≈10k edges at
+// medium scale) followed by small extension batches. The "apply" variant
+// keeps one engine resident and absorbs each batch with InsertFacts +
+// EvalUpdate (delta-restart incremental evaluation, the path behind
+// Database.Apply); the "rerun" variant re-evaluates from scratch on the
+// accumulated edge set after every batch, which is what a non-resident
+// deployment would do. The minimum over repeats is reported.
+func Resident(scale Scale, repeats int, w io.Writer) ([]ResidentRow, error) {
+	shape := residentShapeAt(scale)
+	base := shape.baseEdges()
+	wl := &Workload{
+		Suite: "Resident",
+		Name:  fmt.Sprintf("tc-%dx%d", shape.components, shape.chainLen),
+		Src:   residentSrc,
+		Facts: map[string][]tupleT{"edge": base},
+	}
+	name := wl.FullName()
+	fmt.Fprintf(w, "resident engine (scale=%s; %d base edges, %d batches of %d edges)\n",
+		scale, len(base), shape.batches, shape.batchSize)
+	fmt.Fprintf(w, "%-26s %10s %12s %10s %8s\n", "benchmark", "variant", "wall", "tuples", "ratio")
+
+	rp, st, err := wl.Compile()
+	if err != nil {
+		return nil, err
+	}
+
+	apply := ResidentRow{Workload: name, Variant: "apply", Batches: shape.batches, BatchSize: shape.batchSize}
+	rerun := ResidentRow{Workload: name, Variant: "rerun", Batches: shape.batches, BatchSize: shape.batchSize}
+
+	pathSize := func(eng *interp.Engine) (int, error) {
+		ts, err := eng.Tuples("path")
+		if err != nil {
+			return 0, err
+		}
+		return len(ts), nil
+	}
+
+	for rep := 0; rep < repeats || rep == 0; rep++ {
+		// Resident side: evaluate the base once (untimed), then time the
+		// batch stream through the incremental entry point.
+		eng := interp.New(rp, st, interp.DefaultConfig())
+		if err := eng.Run(wl.NewIO()); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < shape.batches; i++ {
+			if _, err := eng.InsertFacts("edge", shape.batchEdges(i)); err != nil {
+				return nil, err
+			}
+			if err := eng.EvalUpdate(); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		if apply.Wall == 0 || elapsed < apply.Wall {
+			apply.Wall = elapsed
+			if apply.Tuples, err = pathSize(eng); err != nil {
+				return nil, err
+			}
+		}
+
+		// From-scratch side: after each batch, a fresh engine evaluates the
+		// union (engine construction included, as in TimeInterp).
+		union := append([]tupleT{}, base...)
+		start = time.Now()
+		var last int
+		for i := 0; i < shape.batches; i++ {
+			union = append(union, shape.batchEdges(i)...)
+			io := wl.NewIO()
+			io.Facts = map[string][]tupleT{"edge": union}
+			fresh := interp.New(rp, st, interp.DefaultConfig())
+			if err := fresh.Run(io); err != nil {
+				return nil, err
+			}
+			if last, err = pathSize(fresh); err != nil {
+				return nil, err
+			}
+		}
+		elapsed = time.Since(start)
+		if rerun.Wall == 0 || elapsed < rerun.Wall {
+			rerun.Wall = elapsed
+			rerun.Tuples = last
+		}
+	}
+	if apply.Tuples != rerun.Tuples {
+		return nil, fmt.Errorf("resident: tuple mismatch: apply=%d rerun=%d", apply.Tuples, rerun.Tuples)
+	}
+	apply.Ratio = float64(rerun.Wall) / float64(apply.Wall)
+	for _, r := range []ResidentRow{apply, rerun} {
+		fmt.Fprintf(w, "%-26s %10s %12v %10d %8.1f\n",
+			r.Workload, r.Variant, r.Wall.Round(time.Microsecond), r.Tuples, r.Ratio)
+	}
+	return []ResidentRow{apply, rerun}, nil
+}
+
+// ResidentRecords converts resident rows to the common record schema.
+func ResidentRecords(rows []ResidentRow) []BenchRecord {
+	var out []BenchRecord
+	for _, r := range rows {
+		out = append(out, BenchRecord{
+			Workload: r.Workload,
+			Variant:  r.Variant,
+			WallNs:   r.Wall.Nanoseconds(),
+			Tuples:   r.Tuples,
+			Ratio:    r.Ratio,
+		})
+	}
+	return out
+}

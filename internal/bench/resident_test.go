@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"io"
+	"testing"
+
+	"sti/internal/interp"
+)
+
+func TestResidentSmoke(t *testing.T) {
+	rows, err := Resident(Small, 1, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Variant != "apply" || rows[1].Variant != "rerun" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Tuples == 0 || rows[0].Tuples != rows[1].Tuples {
+		t.Fatalf("tuple counts diverge: %+v", rows)
+	}
+	if rows[0].Ratio <= 0 {
+		t.Fatalf("apply row missing ratio: %+v", rows[0])
+	}
+}
+
+func residentEngine(b *testing.B, shape residentShape) *interp.Engine {
+	b.Helper()
+	wl := &Workload{
+		Suite: "Resident",
+		Name:  "bench",
+		Src:   residentSrc,
+		Facts: map[string][]tupleT{"edge": shape.baseEdges()},
+	}
+	rp, st, err := wl.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := interp.New(rp, st, interp.DefaultConfig())
+	if err := eng.Run(wl.NewIO()); err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkResidentApply measures one incremental batch absorption
+// (InsertFacts + EvalUpdate, the path behind Database.Apply) against a
+// resident engine holding the medium component-chain base (≈10k edges).
+// Compare with BenchmarkResidentRerun, which pays a full from-scratch
+// evaluation for the same fact set.
+func BenchmarkResidentApply(b *testing.B) {
+	shape := residentShapeAt(Medium)
+	eng := residentEngine(b, shape)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.InsertFacts("edge", shape.batchEdges(i)); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.EvalUpdate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResidentRerun is the from-scratch baseline for
+// BenchmarkResidentApply: the same base plus one batch, evaluated with a
+// fresh engine per iteration.
+func BenchmarkResidentRerun(b *testing.B) {
+	shape := residentShapeAt(Medium)
+	wl := &Workload{
+		Suite: "Resident",
+		Name:  "bench",
+		Src:   residentSrc,
+		Facts: map[string][]tupleT{"edge": append(shape.baseEdges(), shape.batchEdges(0)...)},
+	}
+	rp, st, err := wl.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := interp.New(rp, st, interp.DefaultConfig())
+		if err := eng.Run(wl.NewIO()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

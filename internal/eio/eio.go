@@ -85,6 +85,22 @@ func (m *Mem) PrintSize(rel *ram.Relation, size int) error {
 	return nil
 }
 
+// RowError describes one malformed row in a fact file: which file, which
+// line, which relation, and the underlying parse problem. Dir.Load wraps
+// every per-row failure in it, so callers can errors.As for the position.
+type RowError struct {
+	Path string // fact file path
+	Line int    // 1-based line number
+	Rel  string // relation being loaded
+	Err  error  // underlying cause
+}
+
+func (e *RowError) Error() string {
+	return fmt.Sprintf("%s:%d: relation %s: %v", e.Path, e.Line, e.Rel, e.Err)
+}
+
+func (e *RowError) Unwrap() error { return e.Err }
+
 // Dir reads and writes tab-separated fact files <dir>/<relation>.facts
 // and <dir>/<relation>.csv, the Soufflé file convention. Symbols are
 // resolved through the engine's symbol table; PrintSize writes to W.
@@ -115,12 +131,13 @@ func (d *Dir) Load(rel *ram.Relation, insert func(tuple.Tuple) error) error {
 		}
 		fields := strings.Split(line, "\t")
 		if len(fields) != rel.Arity {
-			return fmt.Errorf("%s:%d: %d fields, want %d", path, lineNo, len(fields), rel.Arity)
+			return &RowError{Path: path, Line: lineNo, Rel: rel.Name,
+				Err: fmt.Errorf("%d fields, want %d", len(fields), rel.Arity)}
 		}
 		for i, field := range fields {
-			v, err := parseField(field, rel.Types[i], d.Symbols)
+			v, err := ParseField(field, rel.Types[i], d.Symbols)
 			if err != nil {
-				return fmt.Errorf("%s:%d: %v", path, lineNo, err)
+				return &RowError{Path: path, Line: lineNo, Rel: rel.Name, Err: err}
 			}
 			t[i] = v
 		}
@@ -131,9 +148,21 @@ func (d *Dir) Load(rel *ram.Relation, insert func(tuple.Tuple) error) error {
 	return sc.Err()
 }
 
-func parseField(s string, ty value.Type, st *symtab.Table) (value.Value, error) {
+// ParseField converts one tab-separated field to a value. Symbol fields
+// are taken verbatim unless they start with a double quote, in which case
+// they must be a complete Go-syntax quoted string (the form Store emits
+// for symbols that embed tabs, newlines, or a leading quote); an
+// unterminated or otherwise malformed quoted symbol is an error.
+func ParseField(s string, ty value.Type, st *symtab.Table) (value.Value, error) {
 	switch ty {
 	case value.Symbol:
+		if strings.HasPrefix(s, `"`) {
+			u, err := strconv.Unquote(s)
+			if err != nil {
+				return 0, fmt.Errorf("malformed quoted symbol %q", s)
+			}
+			return st.Intern(u), nil
+		}
 		return st.Intern(s), nil
 	case value.Number:
 		n, err := strconv.ParseInt(s, 10, 32)
@@ -195,10 +224,23 @@ func (d *Dir) Store(rel *ram.Relation, it relation.Iterator) error {
 	return f.Close()
 }
 
+// FormatField renders one value as a tab-separated field, the inverse of
+// ParseField: symbols that would not survive a plain round trip come back
+// Go-quoted.
+func FormatField(v value.Value, ty value.Type, st *symtab.Table) string {
+	return formatField(v, ty, st)
+}
+
 func formatField(v value.Value, ty value.Type, st *symtab.Table) string {
 	switch ty {
 	case value.Symbol:
-		return st.Resolve(v)
+		s := st.Resolve(v)
+		// Quote only when the plain form would not survive a round trip:
+		// embedded field/row separators or a leading quote.
+		if strings.ContainsAny(s, "\t\n\r") || strings.HasPrefix(s, `"`) {
+			return strconv.Quote(s)
+		}
+		return s
 	case value.Number:
 		return strconv.FormatInt(int64(value.AsInt(v)), 10)
 	case value.Unsigned:

@@ -1,6 +1,7 @@
 package eio
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -126,6 +127,92 @@ func TestDirParseErrors(t *testing.T) {
 		}
 		if err := d.Load(rel, func(tuple.Tuple) error { return nil }); err == nil {
 			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+// TestDirRowErrors pins the typed error contract: malformed rows surface
+// as *RowError carrying the file, 1-based line, and relation name.
+func TestDirRowErrors(t *testing.T) {
+	dir := t.TempDir()
+	st := symtab.New()
+	d := &Dir{InputDir: dir, Symbols: st}
+	rel := &ram.Relation{Name: "pair", Arity: 2,
+		Types: []value.Type{value.Number, value.Symbol}}
+	cases := []struct {
+		name, content string
+		wantLine      int
+	}{
+		{"short row", "1\tok\n2\n", 2},
+		{"arity mismatch", "1\ta\tb\n", 1},
+		{"unterminated quoted symbol", "1\tok\n2\t\"oops\n", 2},
+		{"bad number", "x\tok\n", 1},
+	}
+	for _, tc := range cases {
+		if err := os.WriteFile(filepath.Join(dir, "pair.facts"), []byte(tc.content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := d.Load(rel, func(tuple.Tuple) error { return nil })
+		var re *RowError
+		if !errors.As(err, &re) {
+			t.Errorf("%s: error %v is not a *RowError", tc.name, err)
+			continue
+		}
+		if re.Line != tc.wantLine || re.Rel != "pair" || !strings.HasSuffix(re.Path, "pair.facts") {
+			t.Errorf("%s: RowError = %+v", tc.name, re)
+		}
+		if re.Unwrap() == nil || !strings.Contains(re.Error(), "pair.facts") {
+			t.Errorf("%s: Error/Unwrap malformed: %v", tc.name, re)
+		}
+	}
+}
+
+// TestQuotedSymbolRoundTrip checks symbols with embedded separators are
+// quoted on Store and unquoted on Load, while plain symbols (even with
+// spaces) stay verbatim.
+func TestQuotedSymbolRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := symtab.New()
+	d := &Dir{InputDir: dir, OutputDir: dir, Symbols: st}
+	rel := &ram.Relation{Name: "s", Arity: 1, Types: []value.Type{value.Symbol}}
+	tricky := []string{"tab\there", "line\nbreak", `"leading quote`, "plain words"}
+	var rows []tuple.Tuple
+	for _, s := range tricky {
+		rows = append(rows, tuple.Tuple{st.Intern(s)})
+	}
+	if err := d.Store(rel, &sliceIter{ts: rows}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "s.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"tab\there"`) {
+		t.Fatalf("tabbed symbol not quoted: %q", data)
+	}
+	if !strings.Contains(string(data), "plain words\n") {
+		t.Fatalf("plain symbol should stay unquoted: %q", data)
+	}
+	if err := os.Rename(filepath.Join(dir, "s.csv"), filepath.Join(dir, "s.facts")); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := d.Load(rel, func(tp tuple.Tuple) error {
+		got = append(got, st.Resolve(tp[0]))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tricky) {
+		t.Fatalf("round-trip rows = %v", got)
+	}
+	want := map[string]bool{}
+	for _, s := range tricky {
+		want[s] = true
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("round-trip produced unexpected symbol %q (all: %v)", s, got)
 		}
 	}
 }

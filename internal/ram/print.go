@@ -111,6 +111,10 @@ func (p *printer) program(prog *Program) {
 			r.Name, r.Arity, r.Rep, r.Orders, flags.String())
 	}
 	p.stmt(prog.Main, 0)
+	if prog.Update != nil {
+		p.line(0, []any{prog.Update}, "UPDATE")
+		p.stmt(prog.Update, 1)
+	}
 }
 
 func (p *printer) stmt(s Statement, depth int) {

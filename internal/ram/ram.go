@@ -36,12 +36,44 @@ type Relation struct {
 	Output    bool
 	PrintSize bool
 
-	// Aux marks delta/new relations introduced by semi-naive translation.
+	// Aux marks delta/new/recent relations introduced by semi-naive
+	// translation.
 	Aux bool
-	// BaseID is the source relation a delta/new relation shadows (its own
-	// ID for source relations). Provenance uses it to attribute premises
-	// read from deltas to the user-visible relation.
+	// Kind classifies an aux relation's role (AuxNone for source relations).
+	Kind AuxKind
+	// BaseID is the source relation a delta/new/recent relation shadows
+	// (its own ID for source relations). Provenance uses it to attribute
+	// premises read from deltas to the user-visible relation.
 	BaseID int
+	// Stratum is the evaluation stratum of the relation's defining SCC;
+	// aux relations inherit their base's stratum. The verifier uses it to
+	// check that update sections stay within their own stratum's scratch
+	// space.
+	Stratum int
+}
+
+// AuxKind names the role of an auxiliary relation in semi-naive evaluation.
+type AuxKind uint8
+
+// Auxiliary relation roles.
+const (
+	AuxNone   AuxKind = iota // a source relation
+	AuxDelta                 // delta_R: tuples new in the previous iteration
+	AuxNew                   // new_R: tuples derived in the current iteration
+	AuxRecent                // recent_R: tuples fresh since the last Apply batch
+)
+
+func (k AuxKind) String() string {
+	switch k {
+	case AuxDelta:
+		return "delta"
+	case AuxNew:
+		return "new"
+	case AuxRecent:
+		return "recent"
+	default:
+		return "none"
+	}
 }
 
 // RepKind mirrors relation.Rep without importing it (the IR stays
@@ -70,6 +102,13 @@ func (r RepKind) String() string {
 type Program struct {
 	Relations []*Relation
 	Main      Statement
+	// Update is the incremental re-evaluation entry point: a delta-restart
+	// variant of every stratum, run by a resident engine after new EDB
+	// facts have been staged into the recent_R relations. It is nil when
+	// the program is not insert-monotone (negation or aggregates), in
+	// which case resident engines fall back to full recomputation.
+	// RAM optimization passes rewrite Main only; Update stays canonical.
+	Update Statement
 	// NumRules counts translated source rules, for profiling tables.
 	NumRules int
 }

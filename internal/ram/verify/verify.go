@@ -50,6 +50,15 @@ const (
 	RuleAggTarget      = "agg-target"      // sum/min/max aggregates carry a target
 	RuleIntrinsicArgs  = "intrinsic-args"  // intrinsics receive the right argument count
 	RuleParallelFrozen = "parallel-frozen" // parallel queries never read their insert targets
+
+	// Update-program invariants (Program.Update, the delta-restart entry
+	// point of resident engines). Snapshot readers are only locked out
+	// while Update runs, so everything it touches must stay inside the
+	// scratch space of its own stratum.
+	RuleUpdateNoIO    = "update-no-io"   // the update program performs no IO
+	RuleUpdateWrite   = "update-write"   // update inserts target aux or eqrel relations only
+	RuleUpdateStratum = "update-stratum" // update writes never target a lower stratum than a read
+	RuleUpdateAlias   = "update-alias"   // update queries never read their insert targets
 )
 
 // Diag is one invariant violation: the offending node (nil for
@@ -119,6 +128,11 @@ func Program(p *ram.Program) []Diag {
 	} else {
 		c.stmt(p.Main, false)
 	}
+	if p.Update != nil {
+		c.inUpdate = true
+		c.stmt(p.Update, false)
+		c.inUpdate = false
+	}
 	return c.diags
 }
 
@@ -181,6 +195,9 @@ type checker struct {
 	// partialScope marks a detached check whose scope covers only some
 	// bound tuples; reads of absent slots are then not violations.
 	partialScope bool
+	// inUpdate marks traversal of Program.Update, where the Rule-Update*
+	// invariants apply.
+	inUpdate bool
 }
 
 // ioKey identifies one I/O action on one relation, for duplicate detection.
@@ -308,6 +325,9 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 		}
 		c.op(s.Root, s, scope{})
 		c.parallelFrozen(s)
+		if c.inUpdate {
+			c.updateQuery(s)
+		}
 	case *ram.Clear:
 		c.relDeclared(s, s.Rel, "CLEAR")
 	case *ram.Swap:
@@ -323,10 +343,16 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 			if s.Dst.Arity != s.Src.Arity || !sameTypes(s.Dst, s.Src) {
 				c.addf(s, RuleMergeShape, "MERGE %s INTO %s with mismatched signatures (arity %d vs %d)", s.Src.Name, s.Dst.Name, s.Src.Arity, s.Dst.Arity)
 			}
+			if c.inUpdate && s.Dst.Stratum < s.Src.Stratum {
+				c.addf(s, RuleUpdateStratum, "update MERGE %s INTO %s writes stratum %d from stratum %d", s.Src.Name, s.Dst.Name, s.Dst.Stratum, s.Src.Stratum)
+			}
 		}
 	case *ram.IO:
 		if !c.relDeclared(s, s.Rel, "IO") {
 			return
+		}
+		if c.inUpdate {
+			c.addf(s, RuleUpdateNoIO, "update program performs IO on %s", s.Rel.Name)
 		}
 		if c.ioSeen == nil {
 			c.ioSeen = map[ioKey]bool{}
@@ -497,8 +523,45 @@ func (c *checker) parallelFrozen(q *ram.Query) {
 	if !q.Parallel {
 		return
 	}
-	reads := map[*ram.Relation]bool{}
-	writes := map[*ram.Relation]bool{}
+	reads, writes := queryReadsWrites(q)
+	for rel := range writes {
+		if rel != nil && reads[rel] {
+			c.addf(q, RuleParallelFrozen, "parallel query %q inserts into %s and also reads it", q.Label, rel.Name)
+		}
+	}
+}
+
+// updateQuery enforces the invariants snapshot isolation rests on: queries
+// of the update program insert only into scratch relations (aux or eqrel),
+// never into a lower stratum than anything they read, and never into a
+// relation they also read (so a half-evaluated query is invisible even to
+// the update pass itself).
+func (c *checker) updateQuery(q *ram.Query) {
+	reads, writes := queryReadsWrites(q)
+	for rel := range writes {
+		if rel == nil {
+			continue
+		}
+		if !rel.Aux && rel.Rep != ram.RepEqRel {
+			c.addf(q, RuleUpdateWrite, "update query %q inserts into source relation %s (want an aux or eqrel target)", q.Label, rel.Name)
+		}
+		if reads[rel] {
+			c.addf(q, RuleUpdateAlias, "update query %q inserts into %s and also reads it", q.Label, rel.Name)
+		}
+		for rd := range reads {
+			if rd != nil && rel.Stratum < rd.Stratum {
+				c.addf(q, RuleUpdateStratum, "update query %q writes %s (stratum %d) while reading %s (stratum %d)", q.Label, rel.Name, rel.Stratum, rd.Name, rd.Stratum)
+			}
+		}
+	}
+}
+
+// queryReadsWrites collects the relations a query's operation tree reads
+// (scans, choices, aggregates, existence/emptiness checks) and writes
+// (projections).
+func queryReadsWrites(q *ram.Query) (reads, writes map[*ram.Relation]bool) {
+	reads = map[*ram.Relation]bool{}
+	writes = map[*ram.Relation]bool{}
 	var walkCond func(ram.Condition)
 	walkCond = func(cond ram.Condition) {
 		switch cond := cond.(type) {
@@ -550,11 +613,7 @@ func (c *checker) parallelFrozen(q *ram.Query) {
 		}
 	}
 	walkOp(q.Root)
-	for rel := range writes {
-		if rel != nil && reads[rel] {
-			c.addf(q, RuleParallelFrozen, "parallel query %q inserts into %s and also reads it", q.Label, rel.Name)
-		}
-	}
+	return reads, writes
 }
 
 func (c *checker) nested(parent any, o ram.Operation, q *ram.Query, sc scope) {
