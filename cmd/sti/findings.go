@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"sti/internal/lint"
+	"sti/internal/parser"
+	"sti/internal/sema"
+)
+
+// finding is the diagnostic currency shared by sti vet and sti lint: both
+// commands reduce their checkers' native outputs to this shape, then print
+// and exit through the same pipeline so text rendering, -json, dedup, and
+// exit codes cannot drift apart.
+type finding struct {
+	Path     string `json:"path"`
+	Line     int    `json:"line,omitempty"`
+	Col      int    `json:"col,omitempty"`
+	Code     string `json:"code"`
+	Severity string `json:"severity"`
+	Msg      string `json:"msg"`
+	Excerpt  string `json:"-"` // rendered in text mode only
+}
+
+func (f finding) location() string {
+	switch {
+	case f.Line > 0 && f.Col > 0:
+		return fmt.Sprintf("%s:%d:%d", f.Path, f.Line, f.Col)
+	case f.Line > 0:
+		return fmt.Sprintf("%s:%d", f.Path, f.Line)
+	default:
+		return f.Path
+	}
+}
+
+// dedupFindings drops exact repeats — the same file reached through two
+// argument spellings, or the same defect reported by two stages — keyed on
+// everything the user sees.
+func dedupFindings(fs []finding) []finding {
+	type key struct {
+		path      string
+		line, col int
+		code, msg string
+	}
+	seen := map[key]bool{}
+	out := fs[:0]
+	for _, f := range fs {
+		k := key{f.Path, f.Line, f.Col, f.Code, f.Msg}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+func sortFindings(fs []finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Code < b.Code
+	})
+}
+
+// reportFindings prints the deduplicated findings — one line each plus the
+// marked excerpt in text mode, a JSON array on stdout with -json — and
+// returns the process exit code: 0 when clean, 1 when anything fired.
+// Internal errors (unreadable paths, walker failures) exit 2 before this
+// point.
+func reportFindings(fs []finding, jsonOut bool) int {
+	fs = dedupFindings(fs)
+	sortFindings(fs)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if fs == nil {
+			fs = []finding{}
+		}
+		if err := enc.Encode(fs); err != nil {
+			fmt.Fprintln(os.Stderr, "sti:", err)
+			return 2
+		}
+	} else {
+		for _, f := range fs {
+			fmt.Fprintf(os.Stderr, "%s: %s: %s [%s]\n", f.location(), f.Severity, f.Msg, f.Code)
+			if f.Excerpt != "" {
+				fmt.Fprint(os.Stderr, indentLines(f.Excerpt, "    "))
+			}
+		}
+	}
+	if len(fs) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// frontendFinding converts a parse, sema, or translate error into a
+// finding, recovering the source position both error types carry so the
+// finding renders path:line:col with a marked excerpt.
+func frontendFinding(src vetSource, err error) finding {
+	f := finding{Path: src.name, Code: "translate-error", Severity: "error", Msg: err.Error()}
+	switch e := err.(type) {
+	case *parser.Error:
+		f.Code = "parse-error"
+		f.Line, f.Col, f.Msg = e.Pos.Line, e.Pos.Col, e.Msg
+	case *sema.Error:
+		f.Code = "sema-error"
+		f.Line, f.Col, f.Msg = e.Pos.Line, e.Pos.Col, e.Msg
+	default:
+		return f
+	}
+	f.Excerpt = lint.Excerpt(src.text, f.Line, f.Col)
+	return f
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sti/internal/lint"
+	"sti/internal/parser"
+)
+
+// cmdLint runs the source-level diagnostics of internal/lint over one or
+// more Datalog programs: unused relations, unbound head variables,
+// singleton variables, always-empty and unreachable rules, and negation
+// inside recursion. Unlike vet it never translates to RAM — the rules are
+// AST-level, so they fire even on files sema rejects. It shares the vet
+// path conventions (.dl files, Go files with embedded programs,
+// directories) and the findings pipeline: exit 0 clean, 1 with findings,
+// 2 on internal errors.
+func cmdLint(args []string) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array on stdout")
+	verbose := fs.Bool("v", false, "report every clean program, not only findings")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sti lint [-json] [-v] path...   (\".dl\" files, Go files with embedded programs, or directories)")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	sources, err := collectSources(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sti:", err)
+		os.Exit(2)
+	}
+	if len(sources) == 0 {
+		fmt.Fprintf(os.Stderr, "sti: lint: no Datalog programs found under %s\n", strings.Join(fs.Args(), " "))
+		os.Exit(2)
+	}
+	var all []finding
+	for _, src := range sources {
+		fs := lintOne(src)
+		if len(fs) == 0 && *verbose && !*jsonOut {
+			fmt.Printf("%s: ok\n", src.name)
+		}
+		all = append(all, fs...)
+	}
+	os.Exit(reportFindings(all, *jsonOut))
+}
+
+// lintOne parses and checks a single program, mapping parse failures and
+// lint diagnostics into findings with marked excerpts.
+func lintOne(src vetSource) []finding {
+	prog, err := parser.Parse(src.text)
+	if err != nil {
+		return []finding{frontendFinding(src, err)}
+	}
+	var out []finding
+	for _, d := range lint.Check(src.name, prog) {
+		out = append(out, finding{
+			Path:     src.name,
+			Line:     d.Line,
+			Col:      d.Col,
+			Code:     d.Code,
+			Severity: string(d.Severity),
+			Msg:      d.Msg,
+			Excerpt:  lint.Excerpt(src.text, d.Line, d.Col),
+		})
+	}
+	return out
+}

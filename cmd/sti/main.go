@@ -8,6 +8,9 @@
 //	sti ram program.dl                         print the RAM program
 //	sti emit program.dl -o gen/prog            synthesize standalone Go
 //	sti vet examples/ prog.dl                  verify RAM without executing
+//	sti lint examples/ prog.dl                 source diagnostics: unused
+//	                                           relations, singleton variables,
+//	                                           unreachable rules, ...
 //	sti serve program.dl [-http addr]          keep the program resident:
 //	                                           apply fact batches and query
 //	                                           over stdin lines or HTTP
@@ -54,6 +57,8 @@ func main() {
 		cmdEmit(os.Args[2:])
 	case "vet":
 		cmdVet(os.Args[2:])
+	case "lint":
+		cmdLint(os.Args[2:])
 	case "serve":
 		cmdServe(os.Args[2:])
 	default:
@@ -101,7 +106,7 @@ func parseWithFile(fs *flag.FlagSet, args []string, usageLine string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sti {run|profile|ram|emit|vet|serve} program.dl [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sti {run|profile|ram|emit|vet|lint|serve} program.dl [flags]")
 	os.Exit(2)
 }
 

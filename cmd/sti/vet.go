@@ -23,48 +23,46 @@ import (
 // containing ".decl", the examples/ convention), and directories, which
 // are walked for both. A trailing /... on a directory is accepted and
 // ignored, matching go tool path spelling.
+//
+// Vet shares the findings pipeline with sti lint: frontend errors and
+// verifier diagnostics print as path-located findings (or a JSON array
+// with -json), exit code 0 means clean, 1 means findings, 2 means an
+// internal error such as an unreadable path.
 func cmdVet(args []string) {
 	fs := flag.NewFlagSet("vet", flag.ExitOnError)
 	optimize := fs.Bool("O", false, "also verify the program after RAM optimization passes")
 	verbose := fs.Bool("v", false, "report every checked program, not only failures")
+	jsonOut := fs.Bool("json", false, "print findings as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	if fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: sti vet [-O] [-v] path...   (\".dl\" files, Go files with embedded programs, or directories)")
+		fmt.Fprintln(os.Stderr, "usage: sti vet [-O] [-v] [-json] path...   (\".dl\" files, Go files with embedded programs, or directories)")
 		fs.PrintDefaults()
 		os.Exit(2)
 	}
 	sources, err := collectSources(fs.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "sti:", err)
+		os.Exit(2)
 	}
 	if len(sources) == 0 {
-		fatal(fmt.Errorf("vet: no Datalog programs found under %s", strings.Join(fs.Args(), " ")))
+		fmt.Fprintf(os.Stderr, "sti: vet: no Datalog programs found under %s\n", strings.Join(fs.Args(), " "))
+		os.Exit(2)
 	}
-	failed := 0
+	var all []finding
 	for _, src := range sources {
-		diags, err := vetOne(src.text, *optimize)
-		switch {
-		case err != nil:
-			failed++
-			fmt.Fprintf(os.Stderr, "%s: %v\n", src.name, err)
-		case len(diags) > 0:
-			failed++
-			for _, d := range diags {
-				fmt.Fprintf(os.Stderr, "%s: %s: %s\n", src.name, d.stage, d.diag)
-				if d.excerpt != "" {
-					fmt.Fprint(os.Stderr, indentLines(d.excerpt, "    "))
-				}
+		fnds, stats := vetOne(src, *optimize)
+		if len(fnds) == 0 && *verbose && !*jsonOut {
+			if *optimize && stats.Changed() {
+				fmt.Printf("%s: ok (optimized: %s)\n", src.name, stats)
+			} else {
+				fmt.Printf("%s: ok\n", src.name)
 			}
-		case *verbose:
-			fmt.Printf("%s: ok\n", src.name)
 		}
+		all = append(all, fnds...)
 	}
-	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "sti vet: %d of %d program(s) failed\n", failed, len(sources))
-		os.Exit(1)
-	}
+	os.Exit(reportFindings(all, *jsonOut))
 }
 
 type vetSource struct {
@@ -72,40 +70,42 @@ type vetSource struct {
 	text string
 }
 
-type vetDiag struct {
-	stage   string
-	diag    verify.Diag
-	excerpt string
-}
-
 // vetOne runs one program through the frontend and the verifier, and —
-// with optimize — through the RAM optimizer and the verifier again.
-func vetOne(src string, optimize bool) ([]vetDiag, error) {
-	astProg, err := parser.Parse(src)
+// with optimize — through the RAM optimizer and the verifier again,
+// reporting the optimizer's program shrink for -v.
+func vetOne(src vetSource, optimize bool) ([]finding, ramopt.Stats) {
+	var stats ramopt.Stats
+	astProg, err := parser.Parse(src.text)
 	if err != nil {
-		return nil, err
+		return []finding{frontendFinding(src, err)}, stats
 	}
 	semProg, errs := sema.Analyze(astProg)
 	if len(errs) > 0 {
-		return nil, errs[0]
+		return []finding{frontendFinding(src, errs[0])}, stats
 	}
 	st := symtab.New()
 	prog, err := ast2ram.Translate(semProg, st)
 	if err != nil {
-		return nil, err
+		return []finding{frontendFinding(src, err)}, stats
 	}
-	out := collectDiags(prog, "translate")
+	out := collectDiags(prog, src.name, "translate")
 	if optimize && len(out) == 0 {
-		ramopt.Optimize(prog, st, ramopt.All())
-		out = append(out, collectDiags(prog, "optimize")...)
+		stats = ramopt.OptimizeStats(prog, st, ramopt.All())
+		out = append(out, collectDiags(prog, src.name, "optimize")...)
 	}
-	return out, nil
+	return out, stats
 }
 
-func collectDiags(prog *ram.Program, stage string) []vetDiag {
-	var out []vetDiag
+func collectDiags(prog *ram.Program, path, stage string) []finding {
+	var out []finding
 	for _, d := range verify.Program(prog) {
-		out = append(out, vetDiag{stage: stage, diag: d, excerpt: verify.Excerpt(prog, d)})
+		out = append(out, finding{
+			Path:     path,
+			Code:     d.Rule,
+			Severity: "error",
+			Msg:      stage + ": " + d.Msg,
+			Excerpt:  verify.Excerpt(prog, d),
+		})
 	}
 	return out
 }

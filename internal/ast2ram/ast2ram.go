@@ -15,6 +15,7 @@ import (
 	"sti/internal/ast"
 	"sti/internal/indexselect"
 	"sti/internal/ram"
+	"sti/internal/ram/analysis"
 	"sti/internal/ram/verify"
 	"sti/internal/sema"
 	"sti/internal/symtab"
@@ -121,7 +122,9 @@ func (t *translator) run() error {
 	// them. EqRel relations are excluded — their union-find representation
 	// implies pairs that no per-tuple tracker can observe, so update rules
 	// reading an out-of-stratum eqrel atom re-read the full relation.
-	t.monotone = monotone(t.sem)
+	mono := analysis.Monotone(t.sem)
+	t.monotone = mono.Monotone()
+	t.out.NoUpdateReason = mono.Reason()
 	if t.monotone {
 		for _, r := range t.sem.RelList {
 			base := t.rels[r.Name()]
@@ -198,31 +201,6 @@ func (t *translator) run() error {
 
 	t.selectIndexes()
 	return nil
-}
-
-// monotone reports whether the program is insert-monotone: adding EDB facts
-// can only add derived tuples, never retract one. Negation and aggregates
-// break this, and gate the emission of the incremental update program.
-func monotone(p *sema.Program) bool {
-	for _, r := range p.RelList {
-		for _, c := range r.Clauses {
-			for _, l := range c.Body {
-				if _, ok := l.(*ast.Negation); ok {
-					return false
-				}
-			}
-			agg := false
-			c.Walk(func(e ast.Expr) {
-				if _, ok := e.(*ast.Aggregate); ok {
-					agg = true
-				}
-			})
-			if agg {
-				return false
-			}
-		}
-	}
-	return true
 }
 
 // auxRelation declares a delta/new/recent companion. Aux relations of eqrel

@@ -91,11 +91,15 @@ func (m *Mem) PrintSize(rel *ram.Relation, size int) error {
 type RowError struct {
 	Path string // fact file path
 	Line int    // 1-based line number
+	Col  int    // 1-based byte column of the offending field; 0 if whole-row
 	Rel  string // relation being loaded
 	Err  error  // underlying cause
 }
 
 func (e *RowError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("%s:%d:%d: relation %s: %v", e.Path, e.Line, e.Col, e.Rel, e.Err)
+	}
 	return fmt.Sprintf("%s:%d: relation %s: %v", e.Path, e.Line, e.Rel, e.Err)
 }
 
@@ -134,12 +138,14 @@ func (d *Dir) Load(rel *ram.Relation, insert func(tuple.Tuple) error) error {
 			return &RowError{Path: path, Line: lineNo, Rel: rel.Name,
 				Err: fmt.Errorf("%d fields, want %d", len(fields), rel.Arity)}
 		}
+		col := 1
 		for i, field := range fields {
 			v, err := ParseField(field, rel.Types[i], d.Symbols)
 			if err != nil {
-				return &RowError{Path: path, Line: lineNo, Rel: rel.Name, Err: err}
+				return &RowError{Path: path, Line: lineNo, Col: col, Rel: rel.Name, Err: err}
 			}
 			t[i] = v
+			col += len(field) + 1 // the field plus its tab separator
 		}
 		if err := insert(t); err != nil {
 			return err

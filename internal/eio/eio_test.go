@@ -2,6 +2,7 @@ package eio
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,7 +133,9 @@ func TestDirParseErrors(t *testing.T) {
 }
 
 // TestDirRowErrors pins the typed error contract: malformed rows surface
-// as *RowError carrying the file, 1-based line, and relation name.
+// as *RowError carrying the file, 1-based line, the byte column of the
+// offending field (0 for whole-row errors like arity mismatches), and the
+// relation name, rendered as path:line:col.
 func TestDirRowErrors(t *testing.T) {
 	dir := t.TempDir()
 	st := symtab.New()
@@ -142,11 +145,12 @@ func TestDirRowErrors(t *testing.T) {
 	cases := []struct {
 		name, content string
 		wantLine      int
+		wantCol       int
 	}{
-		{"short row", "1\tok\n2\n", 2},
-		{"arity mismatch", "1\ta\tb\n", 1},
-		{"unterminated quoted symbol", "1\tok\n2\t\"oops\n", 2},
-		{"bad number", "x\tok\n", 1},
+		{"short row", "1\tok\n2\n", 2, 0},
+		{"arity mismatch", "1\ta\tb\n", 1, 0},
+		{"unterminated quoted symbol", "1\tok\n22\t\"oops\n", 2, 4},
+		{"bad number", "x\tok\n", 1, 1},
 	}
 	for _, tc := range cases {
 		if err := os.WriteFile(filepath.Join(dir, "pair.facts"), []byte(tc.content), 0o644); err != nil {
@@ -158,11 +162,18 @@ func TestDirRowErrors(t *testing.T) {
 			t.Errorf("%s: error %v is not a *RowError", tc.name, err)
 			continue
 		}
-		if re.Line != tc.wantLine || re.Rel != "pair" || !strings.HasSuffix(re.Path, "pair.facts") {
-			t.Errorf("%s: RowError = %+v", tc.name, re)
+		if re.Line != tc.wantLine || re.Col != tc.wantCol || re.Rel != "pair" || !strings.HasSuffix(re.Path, "pair.facts") {
+			t.Errorf("%s: RowError = %+v, want line %d col %d", tc.name, re, tc.wantLine, tc.wantCol)
 		}
 		if re.Unwrap() == nil || !strings.Contains(re.Error(), "pair.facts") {
 			t.Errorf("%s: Error/Unwrap malformed: %v", tc.name, re)
+		}
+		wantLoc := fmt.Sprintf("pair.facts:%d:", tc.wantLine)
+		if tc.wantCol > 0 {
+			wantLoc = fmt.Sprintf("pair.facts:%d:%d:", tc.wantLine, tc.wantCol)
+		}
+		if !strings.Contains(re.Error(), wantLoc) {
+			t.Errorf("%s: Error() = %q, want location %q", tc.name, re.Error(), wantLoc)
 		}
 	}
 }

@@ -313,6 +313,9 @@ func (e *Engine) EvalUpdate() error {
 		return fmt.Errorf("interp: EvalUpdate in phase %s (want ready)", e.phase)
 	}
 	if e.prog.Update == nil {
+		if why := e.prog.NoUpdateReason; why != "" {
+			return fmt.Errorf("interp: program has no update entry point: %s", why)
+		}
 		return fmt.Errorf("interp: program has no update entry point (not insert-monotone)")
 	}
 	if e.rootUpdate == nil {

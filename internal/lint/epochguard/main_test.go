@@ -1,0 +1,148 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "sample.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return checkFile(fset, f)
+}
+
+func TestLeakedHandleReported(t *testing.T) {
+	issues := check(t, `
+package p
+
+func leak(g *Guard) int {
+	h := g.Acquire()
+	return h.Epoch()
+}
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0], "never released") {
+		t.Fatalf("issues = %v, want one leak report", issues)
+	}
+	if !strings.Contains(issues[0], "sample.go:5") {
+		t.Fatalf("issue lacks position: %v", issues[0])
+	}
+}
+
+func TestDiscardedHandleReported(t *testing.T) {
+	issues := check(t, `
+package p
+
+func drop(g *Guard) {
+	_ = g.Acquire()
+}
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0], "discarded") {
+		t.Fatalf("issues = %v, want one discard report", issues)
+	}
+}
+
+func TestReleasePatternsAccepted(t *testing.T) {
+	for name, src := range map[string]string{
+		"direct": `
+package p
+
+func ok(g *Guard) {
+	h := g.Acquire()
+	h.Release()
+}
+`,
+		"deferred": `
+package p
+
+func ok(g *Guard) {
+	h := g.Acquire()
+	defer h.Release()
+	use(h.Epoch())
+}
+`,
+		"deferred-closure": `
+package p
+
+func ok(g *Guard) {
+	h := g.Acquire()
+	defer func() { h.Release() }()
+}
+`,
+		"handed-off-composite": `
+package p
+
+func ok(g *Guard) *Snap {
+	return &Snap{h: g.Acquire()}
+}
+`,
+		"handed-off-var": `
+package p
+
+func ok(g *Guard) *Snap {
+	h := g.Acquire()
+	return &Snap{h: h}
+}
+`,
+		"handed-off-call": `
+package p
+
+func ok(g *Guard) {
+	h := g.Acquire()
+	register(h)
+}
+`,
+		"field-store": `
+package p
+
+func ok(s *Snap, g *Guard) {
+	s.h = g.Acquire()
+}
+`,
+	} {
+		if issues := check(t, src); len(issues) != 0 {
+			t.Errorf("%s: unexpected issues %v", name, issues)
+		}
+	}
+}
+
+func TestClosureCheckedSeparately(t *testing.T) {
+	// The goroutine closure acquires and releases its own handle; the outer
+	// function acquires one and leaks it.
+	issues := check(t, `
+package p
+
+func mixed(g *Guard) {
+	outer := g.Acquire()
+	go func() {
+		h := g.Acquire()
+		h.Release()
+	}()
+	_ = outer.Epoch()
+}
+`)
+	if len(issues) != 1 || !strings.Contains(issues[0], "outer") {
+		t.Fatalf("issues = %v, want exactly the outer leak", issues)
+	}
+}
+
+func TestClosureLeakReported(t *testing.T) {
+	issues := check(t, `
+package p
+
+func spawn(g *Guard) {
+	go func() {
+		h := g.Acquire()
+		_ = h.Epoch()
+	}()
+}
+`)
+	if len(issues) != 1 {
+		t.Fatalf("issues = %v, want the closure leak", issues)
+	}
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Excerpt renders the source line a diagnostic points at with a caret
+// marking the column, gcc-style:
+//
+//	5 | out(x, y) :- e(x), y > 0.
+//	  |        ^
+//
+// Returns "" when the position does not fall inside src (line 0, or past
+// the end), so callers can print diagnostics for synthetic positions
+// without a broken marker.
+func Excerpt(src string, line, col int) string {
+	if line <= 0 {
+		return ""
+	}
+	lines := strings.Split(src, "\n")
+	if line > len(lines) {
+		return ""
+	}
+	text := strings.TrimRight(lines[line-1], "\r")
+	gutter := fmt.Sprintf("%5d | ", line)
+	var b strings.Builder
+	b.WriteString(gutter)
+	b.WriteString(text)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat(" ", len(gutter)-2))
+	b.WriteString("| ")
+	// Advance to the caret column, preserving tabs so the caret lines up
+	// under tab-indented source.
+	for i := 0; i < col-1 && i < len(text); i++ {
+		if text[i] == '\t' {
+			b.WriteByte('\t')
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('^')
+	return b.String()
+}

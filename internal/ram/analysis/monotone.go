@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+
+	"sti/internal/ast"
+	"sti/internal/sema"
+)
+
+// RuleClass is the monotonicity/safety classification of one source clause.
+// A clause is insert-monotone when adding EDB facts can only add tuples it
+// derives, never retract one; stratified negation and aggregates both break
+// this (a new fact can falsify a negated atom or change an aggregate
+// value).
+type RuleClass struct {
+	Rel      string // head relation name
+	Clause   *ast.Clause
+	Monotone bool
+	// Reason names the first non-monotone construct in the clause, e.g.
+	// `negated atom !b(x)` or `count aggregate`; "" for monotone clauses.
+	Reason string
+}
+
+// Monotonicity is the program-level classification: the per-rule table plus
+// the aggregate verdict that gates Update-program emission.
+type Monotonicity struct {
+	Rules  []RuleClass
+	reason string
+}
+
+// Monotone reports whether every clause of the program is insert-monotone,
+// i.e. whether a delta-restart Update program is sound.
+func (m *Monotonicity) Monotone() bool { return m.reason == "" }
+
+// Reason explains why the program is not insert-monotone, naming the first
+// offending rule; "" when the program is monotone.
+func (m *Monotonicity) Reason() string { return m.reason }
+
+// Monotone classifies every clause of an analyzed program. The verdict
+// replaces the ad-hoc predicate ast2ram previously used to gate Update
+// emission: translation consults Monotone() and records Reason() on the
+// RAM program so resident engines can explain why incremental application
+// is unavailable.
+func Monotone(p *sema.Program) *Monotonicity {
+	m := &Monotonicity{}
+	for _, r := range p.RelList {
+		for _, c := range r.Clauses {
+			rc := classifyClause(r.Name(), c)
+			m.Rules = append(m.Rules, rc)
+			if !rc.Monotone && m.reason == "" {
+				m.reason = fmt.Sprintf("rule %q is not insert-monotone: %s", c.String(), rc.Reason)
+			}
+		}
+	}
+	return m
+}
+
+// classifyClause inspects one clause for non-monotone constructs: negated
+// body atoms and aggregate expressions (anywhere in head or body, including
+// nested aggregate bodies).
+func classifyClause(rel string, c *ast.Clause) RuleClass {
+	rc := RuleClass{Rel: rel, Clause: c, Monotone: true}
+	for _, l := range c.Body {
+		if n, ok := l.(*ast.Negation); ok {
+			rc.Monotone = false
+			rc.Reason = fmt.Sprintf("negated atom !%s", n.Atom.String())
+			return rc
+		}
+	}
+	c.Walk(func(e ast.Expr) {
+		if agg, ok := e.(*ast.Aggregate); ok && rc.Monotone {
+			rc.Monotone = false
+			rc.Reason = fmt.Sprintf("%s aggregate", agg.Kind)
+		}
+	})
+	return rc
+}

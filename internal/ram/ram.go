@@ -107,8 +107,15 @@ type Program struct {
 	// facts have been staged into the recent_R relations. It is nil when
 	// the program is not insert-monotone (negation or aggregates), in
 	// which case resident engines fall back to full recomputation.
-	// RAM optimization passes rewrite Main only; Update stays canonical.
+	// The peephole RAM optimization passes rewrite Main only; the
+	// analysis-gated passes (dead code, index pruning) rewrite Main and
+	// Update together so the two entry points stay consistent.
 	Update Statement
+	// NoUpdateReason is the monotonicity-analysis fact explaining a nil
+	// Update ("" when an update program was emitted): it names the first
+	// rule that breaks insert-monotonicity, so resident engines can report
+	// why incremental application is unavailable.
+	NoUpdateReason string
 	// NumRules counts translated source rules, for profiling tables.
 	NumRules int
 }

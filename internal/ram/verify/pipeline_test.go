@@ -88,6 +88,9 @@ var optimizerConfigs = []struct {
 	{"fold", ramopt.Options{FoldConstants: true}},
 	{"fuse-filters", ramopt.Options{FuseFilters: true}},
 	{"choices", ramopt.Options{Choices: true}},
+	{"dead-code", ramopt.Options{DeadCode: true}},
+	{"prune-indexes", ramopt.Options{PruneIndexes: true}},
+	{"queryable", ramopt.Queryable()},
 	{"all", ramopt.All()},
 }
 

@@ -7,7 +7,9 @@
 // declared order prefixes, EXIT only fires inside LOOP, and whole-relation
 // statements target declared relations of compatible shape. The verifier
 // walks a ram.Program once and reports every violation as a typed Diag
-// value; it never panics and never mutates the program.
+// value; it never panics and never mutates the program. The dataflow-backed
+// rules (parallel-frozen and the update-* family) consult the read/write
+// facts of internal/ram/analysis instead of re-deriving them syntactically.
 //
 // Run it after each pass with Check (or per-program with Program) to turn
 // "wrong fixpoint three stages later" into "pass X emitted node Y violating
@@ -19,6 +21,7 @@ import (
 	"strings"
 
 	"sti/internal/ram"
+	"sti/internal/ram/analysis"
 	"sti/internal/tuple"
 )
 
@@ -523,7 +526,7 @@ func (c *checker) parallelFrozen(q *ram.Query) {
 	if !q.Parallel {
 		return
 	}
-	reads, writes := queryReadsWrites(q)
+	reads, writes := analysis.QueryEffects(q)
 	for rel := range writes {
 		if rel != nil && reads[rel] {
 			c.addf(q, RuleParallelFrozen, "parallel query %q inserts into %s and also reads it", q.Label, rel.Name)
@@ -537,7 +540,7 @@ func (c *checker) parallelFrozen(q *ram.Query) {
 // relation they also read (so a half-evaluated query is invisible even to
 // the update pass itself).
 func (c *checker) updateQuery(q *ram.Query) {
-	reads, writes := queryReadsWrites(q)
+	reads, writes := analysis.QueryEffects(q)
 	for rel := range writes {
 		if rel == nil {
 			continue
@@ -554,66 +557,6 @@ func (c *checker) updateQuery(q *ram.Query) {
 			}
 		}
 	}
-}
-
-// queryReadsWrites collects the relations a query's operation tree reads
-// (scans, choices, aggregates, existence/emptiness checks) and writes
-// (projections).
-func queryReadsWrites(q *ram.Query) (reads, writes map[*ram.Relation]bool) {
-	reads = map[*ram.Relation]bool{}
-	writes = map[*ram.Relation]bool{}
-	var walkCond func(ram.Condition)
-	walkCond = func(cond ram.Condition) {
-		switch cond := cond.(type) {
-		case *ram.And:
-			walkCond(cond.L)
-			walkCond(cond.R)
-		case *ram.Not:
-			walkCond(cond.C)
-		case *ram.EmptinessCheck:
-			reads[cond.Rel] = true
-		case *ram.ExistenceCheck:
-			reads[cond.Rel] = true
-		}
-	}
-	var walkOp func(ram.Operation)
-	walkOp = func(o ram.Operation) {
-		switch o := o.(type) {
-		case *ram.Scan:
-			reads[o.Rel] = true
-			walkOp(o.Nested)
-		case *ram.IndexScan:
-			reads[o.Rel] = true
-			walkOp(o.Nested)
-		case *ram.Choice:
-			reads[o.Rel] = true
-			if o.Cond != nil {
-				walkCond(o.Cond)
-			}
-			walkOp(o.Nested)
-		case *ram.IndexChoice:
-			reads[o.Rel] = true
-			if o.Cond != nil {
-				walkCond(o.Cond)
-			}
-			walkOp(o.Nested)
-		case *ram.Filter:
-			if o.Cond != nil {
-				walkCond(o.Cond)
-			}
-			walkOp(o.Nested)
-		case *ram.Project:
-			writes[o.Rel] = true
-		case *ram.Aggregate:
-			reads[o.Rel] = true
-			if o.Cond != nil {
-				walkCond(o.Cond)
-			}
-			walkOp(o.Nested)
-		}
-	}
-	walkOp(q.Root)
-	return reads, writes
 }
 
 func (c *checker) nested(parent any, o ram.Operation, q *ram.Query, sc scope) {

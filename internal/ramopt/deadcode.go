@@ -1,0 +1,293 @@
+package ramopt
+
+import (
+	"sti/internal/ram"
+	"sti/internal/ram/analysis"
+)
+
+// deadCode eliminates relations and statements whose results cannot reach
+// an IO sink, using the liveness facts of internal/ram/analysis. The pass:
+//
+//   - removes queries whose insert target is dead, merges into dead
+//     destinations, swaps and clears of dead scratch relations;
+//   - removes fixpoint loops left without any derivation (their exit fires
+//     on the first iteration, so they were already no-ops);
+//   - prunes loop-exit conjuncts over dead aux relations (which have no
+//     remaining writers and therefore stay empty);
+//   - drops the declarations of relations no statement references anymore,
+//     renumbering IDs and BaseIDs.
+//
+// IO statements are never removed — loads and stores are observable side
+// effects (a missing fact file must still fail) — and Main and Update are
+// rewritten together so both entry points agree on the surviving relations.
+// Programs without any IO sink are left untouched: they are observable only
+// through engine queries, where every relation is a sink.
+func deadCode(p *ram.Program) {
+	f := analysis.Analyze(p)
+	if !f.HasSinks() {
+		return
+	}
+	p.Main = elimStmt(p.Main, f)
+	if p.Main == nil {
+		p.Main = &ram.Sequence{}
+	}
+	if p.Update != nil {
+		p.Update = elimStmt(p.Update, f)
+		if p.Update == nil {
+			// An update program can become empty (nothing live to maintain)
+			// but must stay non-nil: its existence is the incremental
+			// capability contract.
+			p.Update = &ram.Sequence{}
+		}
+	}
+	compactRelations(p)
+}
+
+// elimStmt rewrites one statement tree, returning nil when the statement is
+// dead in its entirety.
+func elimStmt(s ram.Statement, f *analysis.Facts) ram.Statement {
+	switch s := s.(type) {
+	case *ram.Sequence:
+		var out []ram.Statement
+		for _, st := range s.Stmts {
+			if st == nil {
+				continue
+			}
+			if kept := elimStmt(st, f); kept != nil {
+				out = append(out, kept)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		s.Stmts = out
+		return s
+	case *ram.Loop:
+		body := elimStmt(s.Body, f)
+		if body == nil || !hasEffect(body) {
+			// Every derivation inside the loop was dead: the exit condition
+			// fires on the first iteration, so the loop is a no-op.
+			return nil
+		}
+		s.Body = body
+		return s
+	case *ram.Exit:
+		if pruned := pruneExitCond(s.Cond, f); pruned != nil {
+			s.Cond = pruned
+		}
+		return s
+	case *ram.Query:
+		_, writes := analysis.QueryEffects(s)
+		if len(writes) == 0 {
+			return s
+		}
+		for rel := range writes {
+			if f.Live(rel) {
+				return s
+			}
+		}
+		return nil
+	case *ram.Clear:
+		if s.Rel != nil && !f.Live(s.Rel) {
+			return nil
+		}
+		return s
+	case *ram.Swap:
+		if s.A != nil && s.B != nil && !f.Live(s.A) && !f.Live(s.B) {
+			return nil
+		}
+		return s
+	case *ram.Merge:
+		if s.Dst != nil && !f.Live(s.Dst) {
+			return nil
+		}
+		return s
+	case *ram.LogTimer:
+		inner := elimStmt(s.Stmt, f)
+		if inner == nil {
+			return nil
+		}
+		s.Stmt = inner
+		return s
+	default: // IO and anything unknown: keep.
+		return s
+	}
+}
+
+// hasEffect reports whether a statement tree contains anything beyond
+// control flow — a loop whose body is exit-only derives nothing.
+func hasEffect(s ram.Statement) bool {
+	switch s := s.(type) {
+	case *ram.Sequence:
+		for _, st := range s.Stmts {
+			if hasEffect(st) {
+				return true
+			}
+		}
+		return false
+	case *ram.Loop:
+		return hasEffect(s.Body)
+	case *ram.LogTimer:
+		return hasEffect(s.Stmt)
+	case *ram.Exit, nil:
+		return false
+	default:
+		return true
+	}
+}
+
+// pruneExitCond drops emptiness conjuncts over dead aux relations. A dead
+// aux relation has no surviving writer (kept queries insert only into live
+// relations, and aux relations are never loaded), so its emptiness check is
+// constantly true. Returns nil when nothing can be pruned or pruning would
+// empty the condition.
+func pruneExitCond(c ram.Condition, f *analysis.Facts) ram.Condition {
+	removable := func(c ram.Condition) bool {
+		e, ok := c.(*ram.EmptinessCheck)
+		return ok && e.Rel != nil && e.Rel.Aux && !f.Live(e.Rel)
+	}
+	var prune func(c ram.Condition) ram.Condition
+	prune = func(c ram.Condition) ram.Condition {
+		if and, ok := c.(*ram.And); ok {
+			l, r := prune(and.L), prune(and.R)
+			switch {
+			case l == nil:
+				return r
+			case r == nil:
+				return l
+			default:
+				and.L, and.R = l, r
+				return and
+			}
+		}
+		if removable(c) {
+			return nil
+		}
+		return c
+	}
+	return prune(c)
+}
+
+// compactRelations drops declarations no surviving statement references and
+// renumbers IDs/BaseIDs. Bases of kept aux relations are kept too (the
+// verifier requires every aux to shadow a declared base).
+func compactRelations(p *ram.Program) {
+	referenced := map[*ram.Relation]bool{}
+	mark := func(r *ram.Relation) {
+		if r != nil {
+			referenced[r] = true
+		}
+	}
+	markStmtRels(p.Main, mark)
+	if p.Update != nil {
+		markStmtRels(p.Update, mark)
+	}
+	// Close over bases so kept aux relations keep their shadowed source.
+	for _, r := range p.Relations {
+		if r != nil && referenced[r] && r.Aux && r.BaseID >= 0 && r.BaseID < len(p.Relations) {
+			mark(p.Relations[r.BaseID])
+		}
+	}
+	if len(referenced) == len(p.Relations) {
+		return
+	}
+	oldBase := make(map[*ram.Relation]*ram.Relation, len(p.Relations))
+	for _, r := range p.Relations {
+		if r != nil && r.BaseID >= 0 && r.BaseID < len(p.Relations) {
+			oldBase[r] = p.Relations[r.BaseID]
+		}
+	}
+	var kept []*ram.Relation
+	newID := map[*ram.Relation]int{}
+	for _, r := range p.Relations {
+		if r != nil && referenced[r] {
+			newID[r] = len(kept)
+			kept = append(kept, r)
+		}
+	}
+	for _, r := range kept {
+		r.ID = newID[r]
+		if base, ok := newID[oldBase[r]]; ok {
+			r.BaseID = base
+		} else {
+			r.BaseID = r.ID
+		}
+	}
+	p.Relations = kept
+}
+
+// markStmtRels calls mark for every relation referenced anywhere under s.
+func markStmtRels(s ram.Statement, mark func(*ram.Relation)) {
+	var walkCond func(ram.Condition)
+	walkCond = func(c ram.Condition) {
+		switch c := c.(type) {
+		case *ram.And:
+			walkCond(c.L)
+			walkCond(c.R)
+		case *ram.Not:
+			walkCond(c.C)
+		case *ram.EmptinessCheck:
+			mark(c.Rel)
+		case *ram.ExistenceCheck:
+			mark(c.Rel)
+		}
+	}
+	var walkOp func(ram.Operation)
+	walkOp = func(o ram.Operation) {
+		switch o := o.(type) {
+		case *ram.Scan:
+			mark(o.Rel)
+			walkOp(o.Nested)
+		case *ram.IndexScan:
+			mark(o.Rel)
+			walkOp(o.Nested)
+		case *ram.Choice:
+			mark(o.Rel)
+			walkCond(o.Cond)
+			walkOp(o.Nested)
+		case *ram.IndexChoice:
+			mark(o.Rel)
+			walkCond(o.Cond)
+			walkOp(o.Nested)
+		case *ram.Filter:
+			walkCond(o.Cond)
+			walkOp(o.Nested)
+		case *ram.Project:
+			mark(o.Rel)
+		case *ram.Aggregate:
+			mark(o.Rel)
+			walkCond(o.Cond)
+			walkOp(o.Nested)
+		}
+	}
+	var walk func(ram.Statement)
+	walk = func(s ram.Statement) {
+		switch s := s.(type) {
+		case *ram.Sequence:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ram.Loop:
+			walk(s.Body)
+		case *ram.Exit:
+			walkCond(s.Cond)
+		case *ram.Query:
+			walkOp(s.Root)
+		case *ram.Clear:
+			mark(s.Rel)
+		case *ram.Swap:
+			mark(s.A)
+			mark(s.B)
+		case *ram.Merge:
+			mark(s.Dst)
+			mark(s.Src)
+		case *ram.IO:
+			mark(s.Rel)
+		case *ram.LogTimer:
+			walk(s.Stmt)
+		}
+	}
+	if s != nil {
+		walk(s)
+	}
+}

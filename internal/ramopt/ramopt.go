@@ -14,10 +14,24 @@
 //   - choice conversion: a scan whose bound tuple is referenced only by the
 //     immediately following filters — not by the projection or any deeper
 //     operation — only needs *one* witness, so it becomes a (index) choice
-//     that stops at the first match.
+//     that stops at the first match;
+//   - dead code elimination: statements and relations whose results cannot
+//     reach an IO sink are removed, driven by the liveness facts of
+//     internal/ram/analysis (see deadcode.go);
+//   - index pruning: secondary index orders no search uses are dropped,
+//     respecting swap groups (see pruneindex.go).
+//
+// The first three are peephole passes over Main; the last two are
+// analysis-gated whole-program passes that rewrite Main and Update
+// together. Dead code elimination assumes IO statements are the only
+// observable outputs — callers that keep relations queryable after the run
+// (the embedding API, resident databases) must use Queryable() instead of
+// All().
 package ramopt
 
 import (
+	"fmt"
+
 	"sti/internal/ram"
 	"sti/internal/ram/verify"
 	"sti/internal/rtl"
@@ -30,11 +44,49 @@ type Options struct {
 	FoldConstants bool
 	FuseFilters   bool
 	Choices       bool
+	// DeadCode removes statements and relations that cannot reach an IO
+	// sink. Only sound when IO is the program's sole observable interface.
+	DeadCode bool
+	// PruneIndexes drops secondary index orders no search uses.
+	PruneIndexes bool
 }
 
-// All enables every pass.
+// All enables every pass, including dead code elimination — appropriate
+// when the program's outputs are exactly its IO statements (the CLI -O
+// paths).
 func All() Options {
-	return Options{FoldConstants: true, FuseFilters: true, Choices: true}
+	return Options{FoldConstants: true, FuseFilters: true, Choices: true, DeadCode: true, PruneIndexes: true}
+}
+
+// Queryable enables every pass that preserves the queryability of all
+// relations: everything except dead code elimination. Embedders that read
+// arbitrary relations after the run (sti.Result, resident databases) must
+// use this set.
+func Queryable() Options {
+	o := All()
+	o.DeadCode = false
+	return o
+}
+
+// Stats reports the program shrink achieved by the analysis-gated passes.
+type Stats struct {
+	StatementsBefore, StatementsAfter int
+	IndexesBefore, IndexesAfter       int
+	RelationsBefore, RelationsAfter   int
+}
+
+// Changed reports whether any dimension shrank.
+func (s Stats) Changed() bool {
+	return s.StatementsAfter < s.StatementsBefore ||
+		s.IndexesAfter < s.IndexesBefore ||
+		s.RelationsAfter < s.RelationsBefore
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("statements %d->%d, indexes %d->%d, relations %d->%d",
+		s.StatementsBefore, s.StatementsAfter,
+		s.IndexesBefore, s.IndexesAfter,
+		s.RelationsBefore, s.RelationsAfter)
 }
 
 // Optimize rewrites the program in place. In ramverify debug mode the
@@ -42,13 +94,72 @@ func All() Options {
 // *verify.Error naming the offending node — an optimizer bug is a
 // programming error, not a user error.
 func Optimize(p *ram.Program, st *symtab.Table, opts Options) {
+	OptimizeStats(p, st, opts)
+}
+
+// OptimizeStats is Optimize returning the before/after program shrink, for
+// callers that report it (sti vet -O).
+func OptimizeStats(p *ram.Program, st *symtab.Table, opts Options) Stats {
+	s := Stats{
+		StatementsBefore: countStmts(p),
+		IndexesBefore:    countIndexes(p),
+		RelationsBefore:  len(p.Relations),
+	}
 	o := &optimizer{st: st, opts: opts}
 	p.Main = o.stmt(p.Main)
+	if opts.DeadCode {
+		deadCode(p)
+	}
+	if opts.PruneIndexes {
+		pruneIndexes(p)
+	}
+	s.StatementsAfter = countStmts(p)
+	s.IndexesAfter = countIndexes(p)
+	s.RelationsAfter = len(p.Relations)
 	if verify.Debugging() {
 		if err := verify.Check(p, "ramopt"); err != nil {
 			panic(err)
 		}
 	}
+	return s
+}
+
+// countStmts counts executable statements (everything except the Sequence
+// and LogTimer wrappers) across Main and Update.
+func countStmts(p *ram.Program) int {
+	n := 0
+	var walk func(ram.Statement)
+	walk = func(s ram.Statement) {
+		switch s := s.(type) {
+		case *ram.Sequence:
+			for _, st := range s.Stmts {
+				walk(st)
+			}
+		case *ram.Loop:
+			n++
+			walk(s.Body)
+		case *ram.LogTimer:
+			walk(s.Stmt)
+		case nil:
+		default:
+			n++
+		}
+	}
+	walk(p.Main)
+	walk(p.Update)
+	return n
+}
+
+// countIndexes sums the index orders backing each relation (at least one:
+// relations without explicit orders have an implicit identity primary).
+func countIndexes(p *ram.Program) int {
+	n := 0
+	for _, r := range p.Relations {
+		if r != nil {
+			n += max(len(r.Orders), 1)
+		}
+	}
+	return n
 }
 
 type optimizer struct {

@@ -386,9 +386,11 @@ func (ck *clauseCheck) inferType(e ast.Expr) (value.Type, bool) {
 
 // --- groundedness ---
 
-// groundVars computes the set of variables bound by the given conjunction,
-// starting from the variables in outer (for aggregate bodies).
-func (ck *clauseCheck) groundVars(lits []ast.Literal, outer map[string]bool) map[string]bool {
+// GroundVars computes the set of variables bound by the given conjunction,
+// starting from the variables in outer (for aggregate bodies). It is
+// exported for the lint rules, which reuse the checker's groundedness
+// semantics on sources that may not otherwise pass analysis.
+func GroundVars(lits []ast.Literal, outer map[string]bool) map[string]bool {
 	bound := map[string]bool{}
 	for v := range outer {
 		bound[v] = true
@@ -416,7 +418,7 @@ func (ck *clauseCheck) groundVars(lits []ast.Literal, outer map[string]bool) map
 				if !ok || bound[vv.Name] {
 					return
 				}
-				if ck.exprGround(other, bound) {
+				if ExprGround(other, bound) {
 					bound[vv.Name] = true
 					changed = true
 				}
@@ -428,34 +430,34 @@ func (ck *clauseCheck) groundVars(lits []ast.Literal, outer map[string]bool) map
 	return bound
 }
 
-// exprGround reports whether every variable in e is bound. Aggregates are
+// ExprGround reports whether every variable in e is bound. Aggregates are
 // ground when their outer-referenced variables are bound (local variables
 // are bound by the aggregate body itself).
-func (ck *clauseCheck) exprGround(e ast.Expr, bound map[string]bool) bool {
+func ExprGround(e ast.Expr, bound map[string]bool) bool {
 	switch e := e.(type) {
 	case *ast.Var:
 		return bound[e.Name]
 	case *ast.Wildcard, *ast.NumLit, *ast.UnsignedLit, *ast.FloatLit, *ast.StrLit:
 		return true
 	case *ast.BinExpr:
-		return ck.exprGround(e.L, bound) && ck.exprGround(e.R, bound)
+		return ExprGround(e.L, bound) && ExprGround(e.R, bound)
 	case *ast.UnExpr:
-		return ck.exprGround(e.E, bound)
+		return ExprGround(e.E, bound)
 	case *ast.Call:
 		for _, a := range e.Args {
-			if !ck.exprGround(a, bound) {
+			if !ExprGround(a, bound) {
 				return false
 			}
 		}
 		return true
 	case *ast.Aggregate:
-		inner := ck.groundVars(e.Body, bound)
+		inner := GroundVars(e.Body, bound)
 		for _, l := range e.Body {
-			if !ck.literalGround(l, inner) {
+			if !LiteralGround(l, inner) {
 				return false
 			}
 		}
-		if e.Target != nil && !ck.exprGround(e.Target, inner) {
+		if e.Target != nil && !ExprGround(e.Target, inner) {
 			return false
 		}
 		return true
@@ -464,15 +466,15 @@ func (ck *clauseCheck) exprGround(e ast.Expr, bound map[string]bool) bool {
 	}
 }
 
-// literalGround checks that the non-binding parts of a literal are ground.
-func (ck *clauseCheck) literalGround(l ast.Literal, bound map[string]bool) bool {
+// LiteralGround checks that the non-binding parts of a literal are ground.
+func LiteralGround(l ast.Literal, bound map[string]bool) bool {
 	switch l := l.(type) {
 	case *ast.Atom:
 		for _, e := range l.Args {
 			if _, isVar := e.(*ast.Var); isVar {
 				continue // binding position
 			}
-			if !ck.exprGround(e, bound) {
+			if !ExprGround(e, bound) {
 				return false
 			}
 		}
@@ -483,15 +485,15 @@ func (ck *clauseCheck) literalGround(l ast.Literal, bound map[string]bool) bool 
 				_ = w
 				continue
 			}
-			if !ck.exprGround(e, bound) {
+			if !ExprGround(e, bound) {
 				return false
 			}
 		}
 		return true
 	case *ast.Constraint:
-		// Binding equalities were handled in groundVars; remaining operands
+		// Binding equalities were handled in GroundVars; remaining operands
 		// must be ground.
-		return ck.exprGround(l.L, bound) && ck.exprGround(l.R, bound)
+		return ExprGround(l.L, bound) && ExprGround(l.R, bound)
 	default:
 		return false
 	}
@@ -499,7 +501,7 @@ func (ck *clauseCheck) literalGround(l ast.Literal, bound map[string]bool) bool 
 
 func (ck *clauseCheck) checkGroundedness() {
 	c := ck.clause
-	bound := ck.groundVars(c.Body, nil)
+	bound := GroundVars(c.Body, nil)
 	for _, e := range c.Head.Args {
 		ck.reportUnground(e, bound, c.Head.Pos, "head")
 	}
@@ -516,7 +518,7 @@ func (ck *clauseCheck) checkGroundedness() {
 			if l.Op == ast.CmpEQ {
 				// At least one side must be ground for an equality;
 				// groundVars already used it to bind the other side.
-				if !ck.exprGround(l.L, bound) || !ck.exprGround(l.R, bound) {
+				if !ExprGround(l.L, bound) || !ExprGround(l.R, bound) {
 					ck.a.errorf(l.Pos, "ungrounded equality %s", ast.LiteralString(l))
 				}
 				continue
@@ -538,7 +540,7 @@ func (ck *clauseCheck) checkGroundedness() {
 }
 
 func (ck *clauseCheck) reportUnground(e ast.Expr, bound map[string]bool, pos ast.Pos, where string) {
-	if ck.exprGround(e, bound) {
+	if ExprGround(e, bound) {
 		return
 	}
 	// Name one offending variable for the message.

@@ -74,9 +74,11 @@ func Parse(source string) (*Program, error) {
 }
 
 // Optimize runs the RAM optimization passes (constant folding, filter
-// fusion, choice conversion) on the program in place and returns it.
+// fusion, choice conversion, index pruning) on the program in place and
+// returns it. Dead code elimination is deliberately excluded: Result keeps
+// every relation queryable after Run, so no relation is dead here.
 func (p *Program) Optimize() *Program {
-	ramopt.Optimize(p.ram, p.st, ramopt.All())
+	ramopt.Optimize(p.ram, p.st, ramopt.Queryable())
 	return p
 }
 
