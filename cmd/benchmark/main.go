@@ -10,6 +10,7 @@
 //	benchmark -fig dispatch    lean dispatch ablation (§5.5)
 //	benchmark -fig scaling     worker-scaling sweep (wall time, tuples/s)
 //	benchmark -fig resident    resident incremental Apply vs re-running
+//	benchmark -fig delete      incremental deletion vs recompute fallback
 //	benchmark -table 1         first-run compile+execute ratios (Table 1)
 //	benchmark -all             everything
 //
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | resident")
+	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | resident | delete")
 	table := flag.String("table", "", "table to reproduce: 1")
 	all := flag.Bool("all", false, "run every experiment")
 	scaleFlag := flag.String("scale", "small", "workload scale: small | medium | large")
@@ -113,6 +114,12 @@ func main() {
 		run("resident", func() ([]bench.BenchRecord, error) {
 			rows, err := bench.Resident(scale, *repeats, w)
 			return bench.ResidentRecords(rows), err
+		})
+	}
+	if *all || *fig == "delete" {
+		run("delete", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Delete(scale, *repeats, w)
+			return bench.DeleteRecords(rows), err
 		})
 	}
 	if *all || *fig == "portfolio" {

@@ -77,22 +77,26 @@ func serveLines(db *sti.Database, r io.Reader, w io.Writer) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	batch := db.NewBatch()
+	lineNo := 0
 	for sc.Scan() {
 		line := sc.Text()
+		lineNo++
 		if line == "" {
 			continue
 		}
 		fields := strings.Split(line, "\t")
 		head := fields[0]
+		// Parse errors in +/- lines carry stdin:line:col positions (the
+		// first field starts right after the "+rel<TAB>" prefix).
 		switch {
 		case strings.HasPrefix(head, "+"):
-			batch.AddText(head[1:], fields[1:])
+			batch.At("stdin", lineNo, len(head)+2).AddText(head[1:], fields[1:])
 			if err := batch.Err(); err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
 				batch = db.NewBatch()
 			}
 		case strings.HasPrefix(head, "-"):
-			batch.DeleteText(head[1:], fields[1:])
+			batch.At("stdin", lineNo, len(head)+2).DeleteText(head[1:], fields[1:])
 			if err := batch.Err(); err != nil {
 				fmt.Fprintf(out, "error: %v\n", err)
 				batch = db.NewBatch()
@@ -188,16 +192,16 @@ func serveMux(db *sti.Database) *http.ServeMux {
 			return
 		}
 		batch := db.NewBatch()
-		for _, line := range strings.Split(string(body), "\n") {
+		for i, line := range strings.Split(string(body), "\n") {
 			if line == "" {
 				continue
 			}
 			fields := strings.Split(line, "\t")
 			switch {
 			case strings.HasPrefix(fields[0], "+"):
-				batch.AddText(fields[0][1:], fields[1:])
+				batch.At("body", i+1, len(fields[0])+2).AddText(fields[0][1:], fields[1:])
 			case strings.HasPrefix(fields[0], "-"):
-				batch.DeleteText(fields[0][1:], fields[1:])
+				batch.At("body", i+1, len(fields[0])+2).DeleteText(fields[0][1:], fields[1:])
 			default:
 				http.Error(w, fmt.Sprintf("bad line %q: want +rel or -rel", line), http.StatusBadRequest)
 				return

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sti"
+	"sti/internal/eio"
+)
+
+const serveTC = `
+.decl edge(x:number, y:number)
+.decl path(x:number, y:number)
+.input edge
+.output path
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+`
+
+func openServeDB(t *testing.T) *sti.Database {
+	t.Helper()
+	db, err := sti.MustParse(serveTC).Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+// TestServeLinesDeleteBatch drives the line protocol through an insert
+// batch, a delete batch, and a stats read: deletions of a deletable program
+// are absorbed incrementally and the counts reflect it.
+func TestServeLinesDeleteBatch(t *testing.T) {
+	db := openServeDB(t)
+	in := strings.Join([]string{
+		"+edge\t1\t2",
+		"+edge\t2\t3",
+		"+edge\t3\t4",
+		"apply",
+		"count path",
+		"-edge\t2\t3",
+		"apply",
+		"count path",
+		"stats",
+		"quit",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := serveLines(db, strings.NewReader(in), &out); err != nil {
+		t.Fatalf("serveLines: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	want := []string{"applied epoch=1", "6", "applied epoch=2", "2"}
+	for i, w := range want {
+		if i >= len(lines) || lines[i] != w {
+			t.Fatalf("line %d = %q, want %q\nfull output:\n%s", i, lines[i], w, out.String())
+		}
+	}
+	stats := lines[len(lines)-1]
+	if !strings.Contains(stats, `"incremental_applies":2`) || !strings.Contains(stats, `"applies_fallback":0`) {
+		t.Fatalf("stats line missing incremental counters: %s", stats)
+	}
+	if !strings.Contains(stats, `"deletable":true`) {
+		t.Fatalf("stats line missing deletable flag: %s", stats)
+	}
+}
+
+// TestServeLinesRowErrorPosition pins the typed-error contract of the line
+// protocol: a malformed field in a +/- line renders as stdin:line:col, with
+// the column pointing at the offending byte after the "+rel<TAB>" prefix.
+func TestServeLinesRowErrorPosition(t *testing.T) {
+	db := openServeDB(t)
+	in := strings.Join([]string{
+		"+edge\t1\t2",   // line 1, fine
+		"+edge\t3\tbad", // line 2: "bad" starts at byte column 9
+		"-edge\tx\t2",   // line 3: "x" starts at byte column 7
+		"+edge\t1",      // line 4: arity mismatch, whole-row error
+		"quit",
+	}, "\n") + "\n"
+	var out strings.Builder
+	if err := serveLines(db, strings.NewReader(in), &out); err != nil {
+		t.Fatalf("serveLines: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"error: stdin:2:9: relation edge:",
+		"error: stdin:3:7: relation edge:",
+		"error: stdin:4: relation edge: 1 fields, want 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestBatchAtRowError checks the typed error is a *eio.RowError all the way
+// up through errors.As, not just a rendered string.
+func TestBatchAtRowError(t *testing.T) {
+	db := openServeDB(t)
+	b := db.NewBatch().At("stdin", 7, 7).AddText("edge", []string{"1", "oops"})
+	var re *eio.RowError
+	if !errors.As(b.Err(), &re) {
+		t.Fatalf("batch error %v is not a *eio.RowError", b.Err())
+	}
+	if re.Path != "stdin" || re.Line != 7 || re.Col != 9 || re.Rel != "edge" {
+		t.Fatalf("RowError = %+v", re)
+	}
+}

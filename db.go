@@ -20,9 +20,11 @@ import (
 //
 // Insert-only batches of an insert-monotone program (no negation, no
 // aggregates) re-evaluate incrementally via the program's delta-restart
-// update entry point; batches with deletions — and all batches of
-// non-monotone programs — fall back to a full recomputation on the
-// accumulated fact set.
+// update entry point. Batches with deletions run incrementally too when the
+// program is deletable (support counting for non-recursive strata,
+// overdelete/rederive for recursive ones) and every deletion targets an
+// input relation; otherwise the batch falls back to a full recomputation on
+// the accumulated fact set, and Stats records why.
 type Database struct {
 	prog  *Program
 	eng   *interp.Engine
@@ -37,9 +39,10 @@ type Database struct {
 	// and may hold a partial fixpoint; every later operation fails.
 	broken error
 
-	applies     uint64
-	incremental uint64
-	recomputes  uint64
+	applies        uint64
+	incremental    uint64
+	recomputes     uint64
+	fallbackReason string // why the most recent apply fell back
 }
 
 // Open evaluates the program to its initial fixpoint (program facts only;
@@ -78,6 +81,10 @@ func (p *Program) Open(opts ...Option) (*Database, error) {
 // emitted at translation time).
 func (db *Database) Incremental() bool { return db.eng.Incremental() }
 
+// Deletable reports whether the program supports incremental deletion
+// batches (a counting/DRed delete program was emitted at translation time).
+func (db *Database) Deletable() bool { return db.eng.Deletable() }
+
 // Epoch returns the number of completed Apply calls (including Close).
 func (db *Database) Epoch() uint64 { return db.guard.Epoch() }
 
@@ -98,12 +105,22 @@ var errClosed = errors.New("sti: database is closed")
 // convert like Input.Add. Within a batch, deletions apply after
 // insertions. Deleting a fact that was never applied is a no-op; only EDB
 // facts added through Apply can be deleted (program facts and derived
-// tuples cannot).
+// tuples cannot — a deletion naming a non-input relation forces the
+// recompute fallback).
 type Batch struct {
 	db   *Database
 	ins  []batchFact
 	dels []batchFact
 	err  error
+
+	// pos is the source position attributed to text-staging errors, set
+	// with At. Line protocols use it so parse failures surface as typed
+	// *eio.RowError values with fact-file-style path:line:col positions.
+	pos struct {
+		path    string
+		line    int
+		colBase int
+	}
 }
 
 type batchFact struct {
@@ -127,6 +144,19 @@ func (b *Batch) Delete(name string, values ...any) *Batch {
 	if f, ok := b.encode(name, values); ok {
 		b.dels = append(b.dels, f)
 	}
+	return b
+}
+
+// At sets the source position attributed to parse errors of subsequently
+// staged text facts: path and 1-based line in fact-file style, plus the
+// 1-based byte column where the first field starts on that line (line
+// protocols carry a "+rel<TAB>" prefix before the fields). With a position
+// set, AddText/DeleteText failures are typed *eio.RowError values rendering
+// as path:line:col; without one they are plain errors.
+func (b *Batch) At(path string, line, colBase int) *Batch {
+	b.pos.path = path
+	b.pos.line = line
+	b.pos.colBase = colBase
 	return b
 }
 
@@ -184,30 +214,46 @@ func (b *Batch) encodeText(name string, fields []string) (batchFact, bool) {
 	}
 	decl, err := b.db.prog.decl(name)
 	if err != nil {
-		b.err = err
+		b.err = b.textErr(name, 0, err)
 		return batchFact{}, false
 	}
 	if len(fields) != decl.Arity {
-		b.err = fmt.Errorf("sti: relation %s has arity %d, got %d fields", name, decl.Arity, len(fields))
+		b.err = b.textErr(name, 0, fmt.Errorf("%d fields, want %d", len(fields), decl.Arity))
 		return batchFact{}, false
 	}
 	t := make(tuple.Tuple, decl.Arity)
+	col := b.pos.colBase
 	for i, f := range fields {
 		v, err := eio.ParseField(f, decl.Types[i], b.db.prog.st)
 		if err != nil {
-			b.err = fmt.Errorf("sti: %s field %d: %v", name, i, err)
+			b.err = b.textErr(name, col, err)
 			return batchFact{}, false
 		}
 		t[i] = v
+		col += len(f) + 1
 	}
 	return batchFact{rel: name, t: t}, true
+}
+
+// textErr wraps a text-staging failure. With a position set through At the
+// result is a typed *eio.RowError (col 0 marks a whole-row problem);
+// otherwise a plain error.
+func (b *Batch) textErr(name string, col int, err error) error {
+	if b.pos.path != "" {
+		return &eio.RowError{Path: b.pos.path, Line: b.pos.line, Col: col, Rel: name, Err: err}
+	}
+	return fmt.Errorf("sti: relation %s: %v", name, err)
 }
 
 // Apply absorbs a batch and re-evaluates the database to the new fixpoint.
 // Insert-only batches of incremental programs run the delta-restart update
 // program: each stratum is re-entered seeded only with the fresh tuples.
-// Otherwise the engine recomputes from the accumulated facts. Apply blocks
-// until all outstanding snapshots are released, and bumps the epoch.
+// Batches with deletions run the update program for the insertions and then
+// the delete program (counting/DRed) for the retractions, provided the
+// program is deletable and every deletion targets an input relation.
+// Otherwise the engine recomputes from the accumulated facts, recording the
+// reason in Stats. Apply blocks until all outstanding snapshots are
+// released, and bumps the epoch.
 func (db *Database) Apply(b *Batch) error {
 	if b.err != nil {
 		return b.err
@@ -235,23 +281,67 @@ func (db *Database) Apply(b *Batch) error {
 		db.facts[f.rel] = kept
 	}
 	db.applies++
-	if len(b.dels) == 0 && db.eng.Incremental() {
-		return db.applyIncremental(b)
+	if len(b.dels) == 0 {
+		if db.eng.Incremental() {
+			return db.applyIncremental(b)
+		}
+		return db.fallback(db.eng.NoUpdateReason())
 	}
+	if !db.eng.Deletable() {
+		return db.fallback(db.eng.NoDeleteReason())
+	}
+	for _, f := range b.dels {
+		decl, err := db.prog.decl(f.rel)
+		if err != nil {
+			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+			return err
+		}
+		if !decl.Input {
+			return db.fallback(fmt.Sprintf("batch deletes tuples of %q, which is not an input relation", f.rel))
+		}
+	}
+	return db.applyDelta(b)
+}
+
+// fallback runs a full recomputation and records why the incremental path
+// was lost.
+func (db *Database) fallback(reason string) error {
+	if reason == "" {
+		reason = "program has no incremental entry point"
+	}
+	db.fallbackReason = reason
 	return db.recompute()
 }
 
-func (db *Database) applyIncremental(b *Batch) error {
-	// Stage fresh tuples into the base relations and their recent_R
-	// freshness trackers, preserving batch order per relation.
-	staged := map[string][]tuple.Tuple{}
-	var order []string
-	for _, f := range b.ins {
-		if _, seen := staged[f.rel]; !seen {
+// groupByRel splits batch facts per relation, preserving batch order both
+// across relations (first appearance) and within each relation.
+func groupByRel(facts []batchFact) (order []string, grouped map[string][]tuple.Tuple) {
+	grouped = map[string][]tuple.Tuple{}
+	for _, f := range facts {
+		if _, seen := grouped[f.rel]; !seen {
 			order = append(order, f.rel)
 		}
-		staged[f.rel] = append(staged[f.rel], f.t)
+		grouped[f.rel] = append(grouped[f.rel], f.t)
 	}
+	return order, grouped
+}
+
+func (db *Database) applyIncremental(b *Batch) error {
+	if err := db.insertAndUpdate(b.ins); err != nil {
+		return err
+	}
+	db.incremental++
+	return nil
+}
+
+// insertAndUpdate stages fresh tuples into the base relations and their
+// recent_R freshness trackers, then runs the delta-restart update program.
+// A run with no insertions is a no-op.
+func (db *Database) insertAndUpdate(ins []batchFact) error {
+	if len(ins) == 0 {
+		return nil
+	}
+	order, staged := groupByRel(ins)
 	for _, name := range order {
 		if _, err := db.eng.InsertFacts(name, staged[name]); err != nil {
 			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
@@ -261,6 +351,36 @@ func (db *Database) applyIncremental(b *Batch) error {
 	if err := db.eng.EvalUpdate(); err != nil {
 		db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
 		return err
+	}
+	return nil
+}
+
+// applyDelta absorbs a batch with deletions incrementally: the insertions
+// run through the update program first (deletions apply after insertions
+// within a batch), then the staged retractions run through the delete
+// program, which computes exactly the derived tuples losing their last
+// support and removes them together with the retracted facts.
+func (db *Database) applyDelta(b *Batch) error {
+	if err := db.insertAndUpdate(b.ins); err != nil {
+		return err
+	}
+	order, staged := groupByRel(b.dels)
+	total := 0
+	for _, name := range order {
+		n, err := db.eng.DeleteFacts(name, staged[name])
+		if err != nil {
+			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+			return err
+		}
+		total += n
+	}
+	// Deleting facts that were never present stages nothing; the delete
+	// program only runs when at least one retraction took hold.
+	if total > 0 {
+		if err := db.eng.EvalDelete(); err != nil {
+			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+			return err
+		}
 	}
 	db.incremental++
 	return nil
@@ -489,12 +609,19 @@ func (db *Database) Size(name string) (int, error) {
 }
 
 // DBStats is a point-in-time summary of a resident database.
+// AppliesIncremental counts batches absorbed through the update/delete
+// entry points; AppliesFallback counts batches that lost the incremental
+// path and recomputed from scratch, with FallbackReason explaining the most
+// recent loss.
 type DBStats struct {
 	Epoch              uint64         `json:"epoch"`
 	Applies            uint64         `json:"applies"`
-	IncrementalApplies uint64         `json:"incremental_applies"`
+	AppliesIncremental uint64         `json:"incremental_applies"`
+	AppliesFallback    uint64         `json:"applies_fallback"`
+	FallbackReason     string         `json:"fallback_reason,omitempty"`
 	Recomputes         uint64         `json:"recomputes"`
 	Incremental        bool           `json:"incremental"`
+	Deletable          bool           `json:"deletable"`
 	Relations          map[string]int `json:"relations"`
 }
 
@@ -505,9 +632,12 @@ func (db *Database) Stats() DBStats {
 	st := DBStats{
 		Epoch:              s.Epoch(),
 		Applies:            db.applies,
-		IncrementalApplies: db.incremental,
+		AppliesIncremental: db.incremental,
+		AppliesFallback:    db.recomputes,
+		FallbackReason:     db.fallbackReason,
 		Recomputes:         db.recomputes,
 		Incremental:        db.eng.Incremental(),
+		Deletable:          db.eng.Deletable(),
 		Relations:          map[string]int{},
 	}
 	for _, rd := range db.prog.ram.Relations {

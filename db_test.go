@@ -3,8 +3,10 @@ package sti
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // tcProgram builds the transitive-closure fixture with a configurable
@@ -134,7 +136,7 @@ func TestIncrementalEquivalence(t *testing.T) {
 					checkEquivalent(t, db, p, applied, fmt.Sprintf("%s/%s after batch %d", rep, wname, i/batch))
 				}
 				st := db.Stats()
-				if st.IncrementalApplies != st.Applies || st.Recomputes != 0 {
+				if st.AppliesIncremental != st.Applies || st.Recomputes != 0 {
 					t.Fatalf("insert-only batches should all be incremental: %+v", st)
 				}
 			})
@@ -191,16 +193,19 @@ reach2(x, z) :- path(x, y), path(y, z), node(z).
 	}
 }
 
-// TestDeletionFallsBackToRecompute checks a batch with deletions is
-// correct (matches a run without the deleted facts) and counted as a
-// recompute.
-func TestDeletionFallsBackToRecompute(t *testing.T) {
+// TestDeletionAppliesIncrementally checks a batch with deletions of a
+// deletable program is correct (matches a run without the deleted facts)
+// and absorbed through the delete program rather than a recompute.
+func TestDeletionAppliesIncrementally(t *testing.T) {
 	p := tcProgram(t, "btree")
 	db, err := p.Open()
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
 	defer db.Close()
+	if !db.Deletable() {
+		t.Fatal("transitive closure must be deletable")
+	}
 
 	applyEdges(t, db, chainEdges(10))
 	// Cut the chain in the middle.
@@ -214,20 +219,57 @@ func TestDeletionFallsBackToRecompute(t *testing.T) {
 		}
 	}
 	checkEquivalent(t, db, p, remaining, "after deletion")
-	st := db.Stats()
-	if st.Recomputes != 1 {
-		t.Fatalf("deletion should trigger a recompute: %+v", st)
+	if st := db.Stats(); st.Recomputes != 0 || st.AppliesIncremental != 2 {
+		t.Fatalf("deletion should stay incremental: %+v", st)
 	}
 	// Deleting a fact that was never added is a no-op.
 	if err := db.Apply(db.NewBatch().Delete("edge", 100, 101)); err != nil {
 		t.Fatalf("noop delete: %v", err)
 	}
 	checkEquivalent(t, db, p, remaining, "after noop deletion")
-	// The database keeps working incrementally after a recompute.
-	applyEdges(t, db, [][2]int{{5, 6}})
-	checkEquivalent(t, db, p, chainEdges(10), "incremental after recompute")
-	if st := db.Stats(); st.IncrementalApplies != 2 {
-		t.Fatalf("expected incremental apply after recompute: %+v", st)
+	// Mixed add/delete batches route through update then delete.
+	b := db.NewBatch().Add("edge", 5, 6).Delete("edge", 1, 2)
+	if err := db.Apply(b); err != nil {
+		t.Fatalf("mixed batch: %v", err)
+	}
+	var mixed [][2]int
+	for _, e := range chainEdges(10) {
+		if e != [2]int{1, 2} {
+			mixed = append(mixed, e)
+		}
+	}
+	checkEquivalent(t, db, p, mixed, "after mixed batch")
+	st := db.Stats()
+	if st.AppliesFallback != 0 || st.AppliesIncremental != st.Applies {
+		t.Fatalf("every apply should be incremental: %+v", st)
+	}
+	if st.FallbackReason != "" {
+		t.Fatalf("no fallback happened, got reason %q", st.FallbackReason)
+	}
+}
+
+// TestDeletionOfDerivedFallsBack checks a deletion naming a non-input
+// relation loses the incremental path (derived tuples cannot be retracted
+// directly) and records the reason, while the result stays correct.
+func TestDeletionOfDerivedFallsBack(t *testing.T) {
+	p := tcProgram(t, "btree")
+	db, err := p.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	applyEdges(t, db, chainEdges(10))
+	if err := db.Apply(db.NewBatch().Delete("path", 1, 2)); err != nil {
+		t.Fatalf("derived delete: %v", err)
+	}
+	// The derived tuple is still derivable from the EDB: it survives.
+	checkEquivalent(t, db, p, chainEdges(10), "after derived deletion")
+	st := db.Stats()
+	if st.AppliesFallback != 1 || st.Recomputes != 1 {
+		t.Fatalf("derived deletion must fall back: %+v", st)
+	}
+	if !strings.Contains(st.FallbackReason, "not an input relation") {
+		t.Fatalf("fallback reason = %q", st.FallbackReason)
 	}
 }
 
@@ -263,7 +305,7 @@ unreachable(x, y) :- node(x), node(y), !path(x, y).
 	if len(got) != 8 {
 		t.Fatalf("unreachable rows = %v", got)
 	}
-	if st := db.Stats(); st.Recomputes != 1 || st.IncrementalApplies != 0 {
+	if st := db.Stats(); st.Recomputes != 1 || st.AppliesIncremental != 0 {
 		t.Fatalf("non-monotone applies must recompute: %+v", st)
 	}
 }
@@ -495,5 +537,187 @@ func TestConcurrentQueryDuringApply(t *testing.T) {
 	wg.Wait()
 	if n, err := db.Size("path"); err != nil || !legal[n] || n == 0 {
 		t.Fatalf("final path size = %d, %v", n, err)
+	}
+}
+
+// TestInterleavedDeleteEquivalence is the deletion property test: batches
+// interleaving insertions and retractions against a resident database must
+// match a from-scratch run on the net fact set after every batch, across
+// workload shapes and representations. eqrel is excluded by construction —
+// union-find relations cannot attribute retractions, so such programs are
+// not deletable.
+func TestInterleavedDeleteEquivalence(t *testing.T) {
+	workloads := map[string][][2]int{
+		"chain":  chainEdges(30),
+		"grid":   gridEdges(5),
+		"random": randomEdges(40, 15, 1),
+	}
+	for _, rep := range []string{"btree", "brie"} {
+		for wname, edges := range workloads {
+			t.Run(rep+"/"+wname, func(t *testing.T) {
+				p := tcProgram(t, rep)
+				db, err := p.Open()
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				defer db.Close()
+				if !db.Deletable() {
+					t.Fatal("transitive closure should support incremental deletion")
+				}
+				rng := rand.New(rand.NewSource(99))
+				var applied [][2]int
+				next := 0
+				for round := 0; next < len(edges); round++ {
+					b := db.NewBatch()
+					for k := 0; k < 5 && next < len(edges); k++ {
+						e := edges[next]
+						next++
+						b.Add("edge", e[0], e[1])
+						applied = append(applied, e)
+					}
+					// Every other round also retracts a few random edges
+					// applied earlier (duplicates in the stream mean some
+					// retractions are no-ops — that path must hold too).
+					if round%2 == 1 {
+						for k := 0; k < 3 && len(applied) > 0; k++ {
+							i := rng.Intn(len(applied))
+							e := applied[i]
+							b.Delete("edge", e[0], e[1])
+							kept := applied[:0]
+							for _, a := range applied {
+								if a != e {
+									kept = append(kept, a)
+								}
+							}
+							applied = append([][2]int{}, kept...)
+						}
+					}
+					if err := db.Apply(b); err != nil {
+						t.Fatalf("round %d: apply: %v", round, err)
+					}
+					checkEquivalent(t, db, p, applied, fmt.Sprintf("%s/%s round %d", rep, wname, round))
+				}
+				st := db.Stats()
+				if st.AppliesIncremental != st.Applies || st.Recomputes != 0 {
+					t.Fatalf("every batch should be incremental: %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestPrefixScanDuringDeleteApply hammers the prefix-scan edge cases while
+// a writer streams mixed insert/delete batches: within one pinned snapshot,
+// an empty-prefix Query, a fully-bound (max-arity) probe of one of its
+// rows, and a first-attribute ScanRange covering everything must agree.
+func TestPrefixScanDuringDeleteApply(t *testing.T) {
+	p := tcProgram(t, "btree")
+	db, err := p.Open(WithWorkers(2))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	applyEdges(t, db, chainEdges(8))
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := db.Snapshot()
+				rows, err := s.Query("path") // empty prefix: all rows
+				if err != nil {
+					t.Errorf("query: %v", err)
+					s.Release()
+					return
+				}
+				if len(rows) > 0 {
+					r0 := rows[0]
+					hit, err := s.Query("path", r0[0], r0[1]) // max-arity prefix
+					if err != nil || len(hit) != 1 {
+						t.Errorf("bound probe of %v: %d rows, %v", r0, len(hit), err)
+						s.Release()
+						return
+					}
+				}
+				all, err := s.Scan("path", 0, 1<<30)
+				if err != nil || len(all) != len(rows) {
+					t.Errorf("scan saw %d rows, query saw %d (%v)", len(all), len(rows), err)
+					s.Release()
+					return
+				}
+				s.Release()
+			}
+		}()
+	}
+	// The writer alternates growing the chain and cutting its tail edge.
+	for i := 0; i < 30; i++ {
+		if i%3 == 2 {
+			if err := db.Apply(db.NewBatch().Delete("edge", 8+i, 9+i)); err != nil {
+				t.Fatalf("delete batch %d: %v", i, err)
+			}
+		} else {
+			if err := db.Apply(db.NewBatch().Add("edge", 8+i, 9+i)); err != nil {
+				t.Fatalf("insert batch %d: %v", i, err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	if st := db.Stats(); st.Recomputes != 0 {
+		t.Fatalf("mixed stream should stay incremental: %+v", st)
+	}
+}
+
+// TestSnapshotPinnedAcrossDeleteBatch pins a snapshot, lets a delete batch
+// wait on it, and checks the snapshot's reads never observe the retraction
+// until released.
+func TestSnapshotPinnedAcrossDeleteBatch(t *testing.T) {
+	p := tcProgram(t, "btree")
+	db, err := p.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	applyEdges(t, db, chainEdges(4)) // 10 paths
+
+	s := db.Snapshot()
+	applied := make(chan error, 1)
+	go func() {
+		applied <- db.Apply(db.NewBatch().Delete("edge", 2, 3))
+	}()
+	for i := 0; i < 20; i++ {
+		rows, err := s.Query("path")
+		if err != nil {
+			t.Fatalf("pinned query: %v", err)
+		}
+		if len(rows) != 10 {
+			t.Fatalf("pinned snapshot saw the delete: %d rows", len(rows))
+		}
+		select {
+		case <-applied:
+			t.Fatal("delete batch completed while the snapshot was pinned")
+		default:
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Release()
+	if err := <-applied; err != nil {
+		t.Fatalf("apply after release: %v", err)
+	}
+	// Cutting 2->3 leaves paths within 0-1-2 and 3-4 only.
+	rows, err := db.Query("path")
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("post-release path rows = %d, %v", len(rows), err)
+	}
+	if st := db.Stats(); st.Recomputes != 0 || st.AppliesIncremental != st.Applies {
+		t.Fatalf("delete batch should be incremental: %+v", st)
 	}
 }

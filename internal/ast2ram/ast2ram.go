@@ -42,6 +42,13 @@ func Translate(p *sema.Program, st *symtab.Table) (*ram.Program, error) {
 		deltas:  map[string]*ram.Relation{},
 		news:    map[string]*ram.Relation{},
 		recents: map[string]*ram.Relation{},
+		dels:    map[string]*ram.Relation{},
+		cbufs:   map[string]*ram.Relation{},
+		ddels:   map[string]*ram.Relation{},
+		ndels:   map[string]*ram.Relation{},
+		reds:    map[string]*ram.Relation{},
+		dreds:   map[string]*ram.Relation{},
+		nreds:   map[string]*ram.Relation{},
 		pending: map[*ram.Relation][]patch{},
 	}
 	if err := t.run(); err != nil {
@@ -74,9 +81,22 @@ type translator struct {
 	news    map[string]*ram.Relation // new_R by source name
 	recents map[string]*ram.Relation // recent_R by source name (update program)
 
-	pending  map[*ram.Relation][]patch
-	ruleID   int
-	monotone bool // insert-monotone: no negation, no aggregates
+	// Delete-program scratch space, by source name (delete.go). dels exists
+	// for every source relation; cbufs for counting (non-recursive IDB)
+	// relations; the ddel/ndel/red/dred/nred families for relations of
+	// recursive strata.
+	dels  map[string]*ram.Relation
+	cbufs map[string]*ram.Relation
+	ddels map[string]*ram.Relation
+	ndels map[string]*ram.Relation
+	reds  map[string]*ram.Relation
+	dreds map[string]*ram.Relation
+	nreds map[string]*ram.Relation
+
+	pending   map[*ram.Relation][]patch
+	ruleID    int
+	monotone  bool // insert-monotone: no negation, no aggregates
+	deletable bool // monotone, no eqrel, no input-and-derived relations
 }
 
 func (t *translator) run() error {
@@ -132,6 +152,41 @@ func (t *translator) run() error {
 				continue
 			}
 			t.recents[r.Name()] = t.auxRelation("recent_"+r.Name(), base, ram.AuxRecent)
+		}
+	}
+	// Delete-program scratch space. Every source relation gets del_R (the
+	// set scheduled for physical removal); counting relations — those of
+	// non-recursive strata with at least one proper rule — additionally get
+	// a cbuf_R multiplicity buffer, and relations of recursive strata get
+	// the DRed overdelete/rederive families.
+	canDelete, delReason := analysis.Deletable(t.sem)
+	t.deletable = canDelete
+	t.out.NoDeleteReason = delReason
+	if t.deletable {
+		recursive := map[string]bool{}
+		for _, s := range t.sem.Strata {
+			if s.Recursive {
+				for _, r := range s.Rels {
+					recursive[r.Name()] = true
+				}
+			}
+		}
+		for _, r := range t.sem.RelList {
+			base := t.rels[r.Name()]
+			t.dels[r.Name()] = t.auxRelation("del_"+r.Name(), base, ram.AuxDel)
+			switch {
+			case recursive[r.Name()]:
+				t.ddels[r.Name()] = t.auxRelation("ddel_"+r.Name(), base, ram.AuxDelDelta)
+				t.ndels[r.Name()] = t.auxRelation("ndel_"+r.Name(), base, ram.AuxDelNew)
+				t.reds[r.Name()] = t.auxRelation("red_"+r.Name(), base, ram.AuxRed)
+				t.dreds[r.Name()] = t.auxRelation("dred_"+r.Name(), base, ram.AuxRedDelta)
+				t.nreds[r.Name()] = t.auxRelation("nred_"+r.Name(), base, ram.AuxRedNew)
+			case hasProperRule(r):
+				base.Counting = true
+				cb := t.auxRelation("cbuf_"+r.Name(), base, ram.AuxCount)
+				cb.Counting = true
+				t.cbufs[r.Name()] = cb
+			}
 		}
 	}
 
@@ -197,6 +252,27 @@ func (t *translator) run() error {
 		}
 		t.out.Update = &ram.Sequence{Stmts: upd}
 	}
+
+	// Delete program: counting propagation and DRed per stratum, then one
+	// global physical-removal pass once no stratum needs the old state.
+	if t.deletable {
+		var del []ram.Statement
+		for _, s := range t.sem.Strata {
+			stmt, err := t.translateStratumDelete(s)
+			if err != nil {
+				return err
+			}
+			if stmt != nil {
+				del = append(del, stmt)
+			}
+		}
+		for _, r := range t.sem.RelList {
+			d := t.dels[r.Name()]
+			del = append(del, &ram.Subtract{Dst: t.rels[r.Name()], Src: d})
+			del = append(del, &ram.Clear{Rel: d})
+		}
+		t.out.Delete = &ram.Sequence{Stmts: del}
+	}
 	t.out.NumRules = t.ruleID
 
 	t.selectIndexes()
@@ -223,6 +299,17 @@ func (t *translator) auxRelation(name string, base *ram.Relation, kind ram.AuxKi
 	}
 	t.out.Relations = append(t.out.Relations, rel)
 	return rel
+}
+
+// hasProperRule reports whether the relation has at least one non-fact
+// clause (i.e. its contents can actually change under delete propagation).
+func hasProperRule(r *sema.Rel) bool {
+	for _, c := range r.Clauses {
+		if !c.IsFact() {
+			return true
+		}
+	}
+	return false
 }
 
 func repOf(r ast.Rep) ram.RepKind {
@@ -277,7 +364,10 @@ func (t *translator) translateStratum(s *sema.Stratum) (ram.Statement, error) {
 	if !s.Recursive {
 		var stmts []ram.Statement
 		for _, ru := range rules {
-			q, err := t.translateRule(ru.clause, version{target: t.rels[ru.rel.Name()]})
+			target := t.rels[ru.rel.Name()]
+			// Counting targets enumerate every derivation so the support
+			// counts are exact multiplicities, not mere existence.
+			q, err := t.translateRule(ru.clause, version{target: target, forceScan: target.Counting})
 			if err != nil {
 				return nil, err
 			}
@@ -398,6 +488,24 @@ type version struct {
 	// everywhere else).
 	recentPos int
 	useRecent bool
+
+	// Delete-program variants (delete.go and the counting update path).
+	// subst redirects body positions to scratch relations (del/ddel/dred
+	// trackers); exclude filters out atom tuples present in the given
+	// relation, and excludeUnless weakens that to ¬(∈exclude ∧ ¬∈unless) —
+	// the DRed "deleted but not rederived" survival test. require keeps
+	// only heads present in the given relation; headScan instead *scans*
+	// that relation as an extra outermost level binding the head variables
+	// (legal only when every head argument is a plain variable). forceScan
+	// disables the existence-check collapse so each variable assignment is
+	// enumerated — exclude filters need the atom's tuple slot, and counting
+	// targets need one insert attempt per derivation.
+	subst         map[int]*ram.Relation
+	exclude       map[int]*ram.Relation
+	excludeUnless map[int]*ram.Relation
+	require       *ram.Relation
+	headScan      *ram.Relation
+	forceScan     bool
 }
 
 // --- facts ---

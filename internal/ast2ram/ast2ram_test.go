@@ -214,7 +214,9 @@ func TestRuleCount(t *testing.T) {
 	rp := translate(t, tcSrc)
 	// Main: 1 non-recursive rule + 1 recursive rule with one delta version.
 	// Update: 1 restart variant per rule + 1 delta version in the loop.
-	if rp.NumRules != 5 {
+	// Delete (DRed): overdelete init variant per rule (2) + in-stratum loop
+	// variant (1), rederive init variant per rule (2) + loop variant (1).
+	if rp.NumRules != 11 {
 		t.Fatalf("NumRules = %d", rp.NumRules)
 	}
 }

@@ -13,17 +13,18 @@ import (
 
 // ruleTranslator builds the operation tree of one rule version.
 type ruleTranslator struct {
-	t    *translator
-	info *sema.ClauseInfo
-	env  map[string]ram.Expr // variable bindings
-	uses map[string]int      // variable occurrence counts across the clause
-	tid  int                 // next tuple slot
+	t         *translator
+	info      *sema.ClauseInfo
+	env       map[string]ram.Expr // variable bindings
+	uses      map[string]int      // variable occurrence counts across the clause
+	tid       int                 // next tuple slot
+	forceScan bool                // disable the existence-check collapse (version.forceScan)
 }
 
 // translateRule emits one semi-naive version of a rule as a Query.
 func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, error) {
 	info := t.sem.Clauses[c]
-	tr := &ruleTranslator{t: t, info: info, env: map[string]ram.Expr{}}
+	tr := &ruleTranslator{t: t, info: info, env: map[string]ram.Expr{}, forceScan: v.forceScan}
 
 	// Count variable uses to recognize single-use variables (treated like
 	// wildcards: they never need a binding).
@@ -60,10 +61,41 @@ func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, err
 			if v.useRecent && i == v.recentPos {
 				ba.rel = t.recents[l.Name]
 			}
+			if r := v.subst[i]; r != nil {
+				ba.rel = r
+			}
 			atoms = append(atoms, ba)
 		default:
 			defers = append(defers, deferred{lit: l})
 		}
+	}
+	// Rotate the substituted (del/recent frontier) atom to the outermost
+	// level: it holds the batch-sized change set, so driving the join from
+	// it keeps the variant's cost proportional to the change rather than to
+	// the full relations it joins against. Body literal order is free here —
+	// delete/update variants exist only for stratified positive programs,
+	// and deferred literals attach by groundedness, not position. Main's
+	// delta versions keep the written order (the paper's semi-naive shape).
+	driver := -1
+	for i, ba := range atoms {
+		if v.subst[ba.pos] != nil || (v.useRecent && ba.pos == v.recentPos) {
+			driver = i
+			break
+		}
+	}
+	if driver > 0 {
+		rotated := make([]bodyAtom, 0, len(atoms))
+		rotated = append(rotated, atoms[driver])
+		rotated = append(rotated, atoms[:driver]...)
+		rotated = append(rotated, atoms[driver+1:]...)
+		atoms = rotated
+	}
+	// Del-driven variants scan the head's del set as the outermost level:
+	// the head tuple binds all head variables (every head argument is a
+	// plain variable by construction), so the body levels re-derive only
+	// the overdeleted heads.
+	if v.headScan != nil {
+		atoms = append([]bodyAtom{{atom: c.Head, pos: -1, rel: v.headScan}}, atoms...)
 	}
 
 	// Build inside-out: we construct a list of "levels" and nest at the
@@ -101,12 +133,23 @@ func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, err
 		return nil, err
 	}
 	for _, ba := range atoms {
+		tidBefore := tr.tid
 		lv, err := tr.atomLevel(ba.atom, ba.rel, uses)
 		if err != nil {
 			return nil, err
 		}
 		if lv != nil {
 			levels = append(levels, lv)
+		}
+		// Delete-variant membership filters over the atom's whole tuple:
+		// ¬∈exclude, weakened to ¬(∈exclude ∧ ¬∈unless) when an unless
+		// relation is given. forceScan guarantees the atom allocated tuple
+		// slot tidBefore rather than collapsing to an existence check.
+		if exRel := v.exclude[ba.pos]; exRel != nil {
+			cond := excludeCond(tr, exRel, v.excludeUnless[ba.pos], tidBefore)
+			levels = append(levels, func(inner ram.Operation) ram.Operation {
+				return &ram.Filter{Cond: cond, Nested: inner}
+			})
 		}
 		if err := attachReady(); err != nil {
 			return nil, err
@@ -133,6 +176,11 @@ func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, err
 		tr.t.registerSearch(v.guard, fullSignature(len(head)), func(id int) { ex.IndexID = id })
 		root = &ram.Filter{Cond: &ram.Not{C: ex}, Nested: root}
 	}
+	if v.require != nil {
+		ex := &ram.ExistenceCheck{Rel: v.require, Pattern: head}
+		tr.t.registerSearch(v.require, fullSignature(len(head)), func(id int) { ex.IndexID = id })
+		root = &ram.Filter{Cond: ex, Nested: root}
+	}
 	for i := len(levels) - 1; i >= 0; i-- {
 		root = levels[i](root)
 	}
@@ -158,6 +206,14 @@ func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, err
 	if v.useRecent {
 		label += fmt.Sprintf(" [recent@%d]", v.recentPos)
 	}
+	if v.headScan != nil {
+		label += fmt.Sprintf(" [head<-%s]", v.headScan.Name)
+	}
+	for i := range c.Body {
+		if r := v.subst[i]; r != nil {
+			label += fmt.Sprintf(" [%s@%d]", r.Kind, i)
+		}
+	}
 	t.ruleID++
 	return &ram.Query{
 		Root:      root,
@@ -166,6 +222,26 @@ func (t *translator) translateRule(c *ast.Clause, v version) (ram.Statement, err
 		Label:     label,
 		Parallel:  true,
 	}, nil
+}
+
+// excludeCond builds a delete-variant membership filter over the whole tuple
+// bound at slot tid: ¬(t ∈ exclude), or with an unless relation the DRed
+// survival test ¬(t ∈ exclude ∧ t ∉ unless) — "not deleted, or rederived".
+func excludeCond(tr *ruleTranslator, exclude, unless *ram.Relation, tid int) ram.Condition {
+	member := func(rel *ram.Relation) *ram.ExistenceCheck {
+		pat := make([]ram.Expr, rel.Arity)
+		for k := range pat {
+			pat[k] = &ram.TupleElement{TupleID: tid, Elem: k}
+		}
+		ex := &ram.ExistenceCheck{Rel: rel, Pattern: pat}
+		tr.t.registerSearch(rel, fullSignature(rel.Arity), func(id int) { ex.IndexID = id })
+		return ex
+	}
+	exDel := member(exclude)
+	if unless == nil {
+		return &ram.Not{C: exDel}
+	}
+	return &ram.Not{C: &ram.And{L: exDel, R: &ram.Not{C: member(unless)}}}
 }
 
 // atomLevel turns a positive body atom into a scan/index-scan/existence
@@ -223,7 +299,7 @@ func (tr *ruleTranslator) atomLevel(at *ast.Atom, rel *ram.Relation, uses map[st
 	tid := tr.tid
 	bound := sig.Count()
 
-	if !needsScan && len(binds) == 0 {
+	if !needsScan && len(binds) == 0 && !tr.forceScan {
 		// No bindings escape: a (partial) existence check suffices.
 		ex := &ram.ExistenceCheck{Rel: rel, Pattern: pattern}
 		tr.registerAtomSearch(rel, sig, func(id int) { ex.IndexID = id })
@@ -834,14 +910,25 @@ func (tr *ruleTranslator) registerAtomSearch(rel *ram.Relation, sig indexselect.
 }
 
 // selectIndexes runs index selection per relation and patches all searches.
-// new_R mirrors delta_R's signatures so that SWAP stays legal.
+// new_R mirrors delta_R's signatures (likewise ndel_R/ddel_R and
+// nred_R/dred_R) so that SWAP stays legal.
 func (t *translator) selectIndexes() {
-	// new_R must share delta_R's index set: merge their pending searches.
-	for name, d := range t.deltas {
-		if nw := t.news[name]; nw != nil {
-			t.pending[d] = append(t.pending[d], t.pending[nw]...)
-			t.pending[nw] = nil
+	// Swapped pairs must share one index set: merge their pending searches.
+	mergePair := func(d, nw *ram.Relation) {
+		if d == nil || nw == nil {
+			return
 		}
+		t.pending[d] = append(t.pending[d], t.pending[nw]...)
+		t.pending[nw] = nil
+	}
+	for name, d := range t.deltas {
+		mergePair(d, t.news[name])
+	}
+	for name, d := range t.ddels {
+		mergePair(d, t.ndels[name])
+	}
+	for name, d := range t.dreds {
+		mergePair(d, t.nreds[name])
 	}
 	for _, rel := range t.out.Relations {
 		searches := t.pending[rel]
@@ -863,10 +950,19 @@ func (t *translator) selectIndexes() {
 			p.set(pl.Index)
 		}
 	}
-	// Give new_R exactly delta_R's orders.
-	for name, d := range t.deltas {
-		if nw := t.news[name]; nw != nil {
+	// Give each swapped counterpart exactly its delta sibling's orders.
+	copyOrders := func(d, nw *ram.Relation) {
+		if d != nil && nw != nil {
 			nw.Orders = append([]tuple.Order{}, d.Orders...)
 		}
+	}
+	for name, d := range t.deltas {
+		copyOrders(d, t.news[name])
+	}
+	for name, d := range t.ddels {
+		copyOrders(d, t.ndels[name])
+	}
+	for name, d := range t.dreds {
+		copyOrders(d, t.nreds[name])
 	}
 }

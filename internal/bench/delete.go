@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"sti/internal/interp"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// deleteMixes are the retraction fractions of the operation stream: every
+// batch carries batchSize operations, and a fraction mix of all operations
+// across the stream are retractions (0% is the pure-insert baseline).
+var deleteMixes = []float64{0, 0.01, 0.10}
+
+// deleteOps splits batch b of the stream into insertions and retractions.
+// Operation k (0-based, global) is a retraction when the running fraction
+// crosses an integer, spreading retractions evenly: mix=0.10 retracts every
+// 10th operation, mix=0.01 every 100th. Insertions extend chain components
+// from the low end (as in the resident benchmark); retractions remove the
+// base-chain tail edge of distinct components from the high end, so the two
+// never touch the same component.
+func (s residentShape) deleteOps(b int, mix float64) (ins, dels []tupleT) {
+	insSeen, delSeen := 0, 0
+	for k := 0; k < b*s.batchSize; k++ {
+		if int(float64(k+1)*mix) > int(float64(k)*mix) {
+			delSeen++
+		} else {
+			insSeen++
+		}
+	}
+	for j := 0; j < s.batchSize; j++ {
+		k := b*s.batchSize + j
+		if int(float64(k+1)*mix) > int(float64(k)*mix) {
+			c := s.components - 1 - delSeen
+			tail := c*residentStride + s.chainLen - 2
+			dels = append(dels, tupleT{num(tail), num(tail + 1)})
+			delSeen++
+			continue
+		}
+		c := insSeen % s.components
+		ext := insSeen / s.components
+		tail := c*residentStride + s.chainLen - 1 + ext
+		ins = append(ins, tupleT{num(tail), num(tail + 1)})
+		insSeen++
+	}
+	return ins, dels
+}
+
+// DeleteRow is one delete-stream measurement: the wall time to absorb all
+// batches of a given retraction mix either incrementally (update + delete
+// entry points) or by recomputing from scratch on the net fact set after
+// every batch (the fallback a non-deletable program pays).
+type DeleteRow struct {
+	Workload  string
+	Variant   string // "apply" (incremental) or "rerun" (recompute fallback)
+	Mix       string // retraction fraction of the operation stream
+	Batches   int
+	BatchSize int
+	Wall      time.Duration
+	Tuples    int     // path tuples at the end
+	Ratio     float64 // rerun wall / apply wall, on the apply row
+}
+
+// Delete measures counting/DRed-based incremental retraction against the
+// full-recompute fallback on the component-chain workload (≈10k base edges
+// at medium scale, batches of 10 operations) across retraction mixes. The
+// "apply" variant keeps one engine resident and absorbs each batch with
+// InsertFacts + EvalUpdate followed by DeleteFacts + EvalDelete — the path
+// behind Database.Apply for deletable programs; the "rerun" variant
+// re-evaluates from scratch on the net edge set after every batch. Both
+// sides must agree exactly on the final path relation. The minimum over
+// repeats is reported.
+func Delete(scale Scale, repeats int, w io.Writer) ([]DeleteRow, error) {
+	shape := residentShapeAt(scale)
+	base := shape.baseEdges()
+	wl := &Workload{
+		Suite: "Delete",
+		Name:  fmt.Sprintf("tc-%dx%d", shape.components, shape.chainLen),
+		Src:   residentSrc,
+		Facts: map[string][]tupleT{"edge": base},
+	}
+	fmt.Fprintf(w, "incremental deletion (scale=%s; %d base edges, %d batches of %d ops)\n",
+		scale, len(base), shape.batches, shape.batchSize)
+	fmt.Fprintf(w, "%-32s %8s %6s %12s %10s %8s\n", "benchmark", "variant", "mix", "wall", "tuples", "ratio")
+
+	rp, st, err := wl.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if rp.Delete == nil {
+		return nil, fmt.Errorf("delete benchmark program is not deletable: %s", rp.NoDeleteReason)
+	}
+
+	pathTuples := func(eng *interp.Engine) ([]tuple.Tuple, error) {
+		ts, err := eng.Tuples("path")
+		if err != nil {
+			return nil, err
+		}
+		sort.Slice(ts, func(i, j int) bool { return tuple.Compare(ts[i], ts[j]) < 0 })
+		return ts, nil
+	}
+
+	var rows []DeleteRow
+	for _, mix := range deleteMixes {
+		mixLabel := fmt.Sprintf("%g%%", mix*100)
+		name := fmt.Sprintf("%s/mix%s", wl.FullName(), mixLabel)
+		apply := DeleteRow{Workload: name, Variant: "apply", Mix: mixLabel, Batches: shape.batches, BatchSize: shape.batchSize}
+		rerun := DeleteRow{Workload: name, Variant: "rerun", Mix: mixLabel, Batches: shape.batches, BatchSize: shape.batchSize}
+		var applyFinal, rerunFinal []tuple.Tuple
+
+		for rep := 0; rep < repeats || rep == 0; rep++ {
+			// Incremental side: evaluate the base once (untimed), then time
+			// the mixed batch stream through the update and delete entry
+			// points.
+			eng := interp.New(rp, st, interp.DefaultConfig())
+			if err := eng.Run(wl.NewIO()); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			for i := 0; i < shape.batches; i++ {
+				ins, dels := shape.deleteOps(i, mix)
+				if len(ins) > 0 {
+					if _, err := eng.InsertFacts("edge", ins); err != nil {
+						return nil, err
+					}
+					if err := eng.EvalUpdate(); err != nil {
+						return nil, err
+					}
+				}
+				if len(dels) > 0 {
+					if _, err := eng.DeleteFacts("edge", dels); err != nil {
+						return nil, err
+					}
+					if err := eng.EvalDelete(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			elapsed := time.Since(start)
+			if apply.Wall == 0 || elapsed < apply.Wall {
+				apply.Wall = elapsed
+				if applyFinal, err = pathTuples(eng); err != nil {
+					return nil, err
+				}
+				apply.Tuples = len(applyFinal)
+			}
+
+			// Fallback side: after each batch, a fresh engine evaluates the
+			// net edge set (insertions applied, retractions removed).
+			key := func(e tupleT) [2]value.Value { return [2]value.Value{e[0], e[1]} }
+			net := map[[2]value.Value]bool{}
+			for _, e := range base {
+				net[key(e)] = true
+			}
+			start = time.Now()
+			var last *interp.Engine
+			for i := 0; i < shape.batches; i++ {
+				ins, dels := shape.deleteOps(i, mix)
+				for _, e := range ins {
+					net[key(e)] = true
+				}
+				for _, e := range dels {
+					delete(net, key(e))
+				}
+				edges := make([]tupleT, 0, len(net))
+				for e := range net {
+					edges = append(edges, tupleT{e[0], e[1]})
+				}
+				io := wl.NewIO()
+				io.Facts = map[string][]tupleT{"edge": edges}
+				fresh := interp.New(rp, st, interp.DefaultConfig())
+				if err := fresh.Run(io); err != nil {
+					return nil, err
+				}
+				last = fresh
+			}
+			elapsed = time.Since(start)
+			if rerun.Wall == 0 || elapsed < rerun.Wall {
+				rerun.Wall = elapsed
+				if rerunFinal, err = pathTuples(last); err != nil {
+					return nil, err
+				}
+				rerun.Tuples = len(rerunFinal)
+			}
+		}
+		if len(applyFinal) != len(rerunFinal) {
+			return nil, fmt.Errorf("delete mix %s: path mismatch: apply=%d rerun=%d", mixLabel, len(applyFinal), len(rerunFinal))
+		}
+		for i := range applyFinal {
+			if tuple.Compare(applyFinal[i], rerunFinal[i]) != 0 {
+				return nil, fmt.Errorf("delete mix %s: path tuple %d differs: apply=%v rerun=%v", mixLabel, i, applyFinal[i], rerunFinal[i])
+			}
+		}
+		apply.Ratio = float64(rerun.Wall) / float64(apply.Wall)
+		for _, r := range []DeleteRow{apply, rerun} {
+			fmt.Fprintf(w, "%-32s %8s %6s %12v %10d %8.1f\n",
+				r.Workload, r.Variant, r.Mix, r.Wall.Round(time.Microsecond), r.Tuples, r.Ratio)
+		}
+		rows = append(rows, apply, rerun)
+	}
+	return rows, nil
+}
+
+// DeleteRecords converts delete rows to the common record schema.
+func DeleteRecords(rows []DeleteRow) []BenchRecord {
+	var out []BenchRecord
+	for _, r := range rows {
+		out = append(out, BenchRecord{
+			Workload: r.Workload,
+			Variant:  r.Variant,
+			WallNs:   r.Wall.Nanoseconds(),
+			Tuples:   r.Tuples,
+			Ratio:    r.Ratio,
+		})
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+func TestDeleteSmoke(t *testing.T) {
+	rows, err := Delete(Small, 1, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(deleteMixes) {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for i := 0; i < len(rows); i += 2 {
+		apply, rerun := rows[i], rows[i+1]
+		if apply.Variant != "apply" || rerun.Variant != "rerun" || apply.Mix != rerun.Mix {
+			t.Fatalf("row pair %d malformed: %+v %+v", i, apply, rerun)
+		}
+		if apply.Tuples == 0 || apply.Tuples != rerun.Tuples {
+			t.Fatalf("mix %s tuple counts diverge: %+v %+v", apply.Mix, apply, rerun)
+		}
+		if apply.Ratio <= 0 {
+			t.Fatalf("apply row missing ratio: %+v", apply)
+		}
+	}
+	// More retractions shrink the final closure: the 10% mix must end
+	// smaller than the pure-insert stream.
+	if rows[0].Tuples <= rows[4].Tuples {
+		t.Fatalf("retractions did not shrink the closure: mix0=%d mix10=%d", rows[0].Tuples, rows[4].Tuples)
+	}
+}
+
+// BenchmarkDeleteApply measures one incremental delete batch (DeleteFacts +
+// EvalDelete, the path behind Database.Apply for batches with retractions)
+// against a resident engine holding the medium component-chain base (≈10k
+// edges). Each iteration retracts one base-chain tail edge of a distinct
+// component. Compare with BenchmarkResidentRerun, which pays a full
+// from-scratch evaluation.
+func BenchmarkDeleteApply(b *testing.B) {
+	shape := residentShapeAt(Medium)
+	eng := residentEngine(b, shape)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := i % shape.components
+		tail := c*residentStride + shape.chainLen - 2
+		dels := []tupleT{{num(tail), num(tail + 1)}}
+		if _, err := eng.DeleteFacts("edge", dels); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.EvalDelete(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

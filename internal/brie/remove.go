@@ -1,0 +1,84 @@
+package brie
+
+import (
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// remove clears v's bit, reporting whether it was set. An emptied block is
+// compacted out so any()/forEach never observe dead blocks.
+func (l *leafSet) remove(v value.Value) bool {
+	base := v &^ 63
+	i, ok := l.findBlock(base)
+	if !ok {
+		return false
+	}
+	bit := uint64(1) << (v & 63)
+	if l.blocks[i].bits&bit == 0 {
+		return false
+	}
+	l.blocks[i].bits &^= bit
+	if l.blocks[i].bits == 0 {
+		l.blocks = append(l.blocks[:i], l.blocks[i+1:]...)
+	}
+	return true
+}
+
+func (l *leafSet) empty() bool { return len(l.blocks) == 0 }
+
+// Remove deletes tup (source order), reporting whether it was present.
+// Emptied leaf sets and inner nodes are pruned bottom-up, so HasPrefix and
+// AnyMatch — which treat the mere presence of a node as evidence of a
+// matching tuple — stay exact after retractions.
+func (t *Trie) Remove(tup tuple.Tuple) bool {
+	if t.arity == 1 {
+		if t.leaf == nil || !t.leaf.remove(tup[0]) {
+			return false
+		}
+		t.size--
+		return true
+	}
+
+	// Walk to the leaf set, recording the path for pruning.
+	type step struct {
+		nd *tnode
+		i  int
+	}
+	path := make([]step, 0, t.arity-1)
+	nd := &t.root
+	for level := 0; level < t.arity-1; level++ {
+		i, ok := nd.find(tup[level])
+		if !ok {
+			return false
+		}
+		path = append(path, step{nd, i})
+		if level == t.arity-2 {
+			break
+		}
+		nd = nd.children[i]
+	}
+	last := path[len(path)-1]
+	ls := last.nd.leaves[last.i]
+	if !ls.remove(tup[t.arity-1]) {
+		return false
+	}
+	t.size--
+
+	// Prune upward: drop the value entry whose subtree became empty.
+	if !ls.empty() {
+		return true
+	}
+	for lvl := len(path) - 1; lvl >= 0; lvl-- {
+		s := path[lvl]
+		s.nd.vals = append(s.nd.vals[:s.i], s.nd.vals[s.i+1:]...)
+		if s.nd.leaves != nil {
+			s.nd.leaves = append(s.nd.leaves[:s.i], s.nd.leaves[s.i+1:]...)
+		} else {
+			s.nd.children = append(s.nd.children[:s.i], s.nd.children[s.i+1:]...)
+		}
+		if len(s.nd.vals) > 0 {
+			break
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package brie
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sti/internal/value"
+)
+
+func TestRemoveBasics(t *testing.T) {
+	tr := New(2)
+	if tr.Remove([]value.Value{1, 2}) {
+		t.Fatal("remove from empty trie reported a hit")
+	}
+	tr.Insert([]value.Value{1, 2})
+	tr.Insert([]value.Value{1, 3})
+	if tr.Remove([]value.Value{1, 9}) || tr.Remove([]value.Value{9, 2}) {
+		t.Fatal("remove of absent tuple reported a hit")
+	}
+	if !tr.Remove([]value.Value{1, 2}) || tr.Size() != 1 {
+		t.Fatalf("remove of present tuple failed (size=%d)", tr.Size())
+	}
+	if tr.Contains([]value.Value{1, 2}) || !tr.Contains([]value.Value{1, 3}) {
+		t.Fatal("membership wrong after remove")
+	}
+}
+
+// TestRemovePrunesPrefixes checks that HasPrefix stays exact after
+// retraction: once the last tuple under a prefix dies, the prefix must
+// report absent (interior nodes are pruned, not left dangling).
+func TestRemovePrunesPrefixes(t *testing.T) {
+	tr := New(3)
+	tr.Insert([]value.Value{1, 2, 3})
+	tr.Insert([]value.Value{1, 2, 4})
+	tr.Insert([]value.Value{1, 5, 6})
+	if !tr.Remove([]value.Value{1, 2, 3}) {
+		t.Fatal("remove failed")
+	}
+	if !tr.HasPrefix([]value.Value{1, 2}) {
+		t.Fatal("prefix (1,2) vanished while (1,2,4) lives")
+	}
+	if !tr.Remove([]value.Value{1, 2, 4}) {
+		t.Fatal("remove failed")
+	}
+	if tr.HasPrefix([]value.Value{1, 2}) {
+		t.Fatal("prefix (1,2) survives with no tuples under it")
+	}
+	if !tr.HasPrefix([]value.Value{1}) || !tr.HasPrefix([]value.Value{1, 5}) {
+		t.Fatal("pruning removed a still-populated prefix")
+	}
+	if !tr.Remove([]value.Value{1, 5, 6}) || tr.Size() != 0 {
+		t.Fatal("trie not drained")
+	}
+	if tr.HasPrefix([]value.Value{1}) {
+		t.Fatal("prefix survives in an empty trie")
+	}
+	// Reuse after draining.
+	if !tr.Insert([]value.Value{7, 8, 9}) || !tr.HasPrefix([]value.Value{7}) {
+		t.Fatal("insert after draining failed")
+	}
+}
+
+// TestRemoveBlockBoundaries exercises the bitmap leaf layer: values packed
+// into one 64-bit block, straddling blocks, and block-emptying removals.
+func TestRemoveBlockBoundaries(t *testing.T) {
+	tr := New(1)
+	vals := []value.Value{0, 1, 63, 64, 65, 127, 128, 1000}
+	for _, v := range vals {
+		tr.Insert([]value.Value{v})
+	}
+	for i, v := range vals {
+		if !tr.Remove([]value.Value{v}) {
+			t.Fatalf("remove(%d) missed", v)
+		}
+		if tr.Remove([]value.Value{v}) {
+			t.Fatalf("second remove(%d) reported a hit", v)
+		}
+		if tr.Size() != len(vals)-1-i {
+			t.Fatalf("size %d after %d removals", tr.Size(), i+1)
+		}
+		for _, w := range vals[i+1:] {
+			if !tr.Contains([]value.Value{w}) {
+				t.Fatalf("remove(%d) destroyed sibling %d", v, w)
+			}
+		}
+	}
+}
+
+// TestRemoveRandomizedAgainstModel interleaves inserts and removes on a
+// 2-ary trie and compares membership, size, and ordered enumeration with a
+// map model.
+func TestRemoveRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	tr := New(2)
+	model := map[[2]value.Value]bool{}
+	for step := 0; step < 30000; step++ {
+		k := [2]value.Value{value.Value(rng.Intn(200)), value.Value(rng.Intn(200))}
+		tup := []value.Value{k[0], k[1]}
+		if rng.Intn(3) == 0 {
+			if tr.Remove(tup) != model[k] {
+				t.Fatalf("step %d: remove(%v) disagrees with model", step, tup)
+			}
+			delete(model, k)
+		} else {
+			if tr.Insert(tup) == model[k] {
+				t.Fatalf("step %d: insert(%v) newness disagrees with model", step, tup)
+			}
+			model[k] = true
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("size %d, model %d", tr.Size(), len(model))
+	}
+	var want [][]value.Value
+	for k := range model {
+		want = append(want, []value.Value{k[0], k[1]})
+	}
+	sort.Slice(want, func(i, j int) bool { return lessTuple(want[i], want[j]) })
+	got := drain(tr.Iter())
+	if len(got) != len(want) {
+		t.Fatalf("iteration yields %d tuples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("enumeration diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

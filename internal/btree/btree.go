@@ -9,9 +9,10 @@
 // paper's C++ template specialization, recovered for the interpreter through
 // the arity factory (the de-specialization of §3).
 //
-// Datalog evaluation only ever inserts, tests membership, enumerates, and
-// clears; there is no deletion, which keeps the structure simple and fast.
-// All mutating operations require external synchronization; read-only
+// Datalog evaluation mostly inserts, tests membership, enumerates, and
+// clears; deletion (remove.go) exists only for the incremental-retraction
+// path and runs outside scan loops, so the hot structure stays simple and
+// fast. All mutating operations require external synchronization; read-only
 // operations (Contains, iteration) may run concurrently with each other.
 package btree
 

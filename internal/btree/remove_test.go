@@ -1,0 +1,110 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRemoveBasics(t *testing.T) {
+	tr := New[k2]()
+	if tr.Remove(k2{1, 2}) {
+		t.Fatal("remove from empty tree reported a hit")
+	}
+	tr.Insert(k2{1, 2})
+	tr.Insert(k2{3, 4})
+	if tr.Remove(k2{9, 9}) {
+		t.Fatal("remove of absent key reported a hit")
+	}
+	if !tr.Remove(k2{1, 2}) || tr.Size() != 1 {
+		t.Fatalf("remove of present key failed (size=%d)", tr.Size())
+	}
+	if tr.Contains(k2{1, 2}) || !tr.Contains(k2{3, 4}) {
+		t.Fatal("membership wrong after remove")
+	}
+	if !tr.Remove(k2{3, 4}) || !tr.Empty() {
+		t.Fatalf("tree not empty after removing everything (size=%d)", tr.Size())
+	}
+	// Reuse after emptying: the nil-root path must accept new inserts.
+	if !tr.Insert(k2{5, 6}) || tr.Size() != 1 {
+		t.Fatal("insert after emptying failed")
+	}
+}
+
+// TestRemoveRebalances drives deletions through every rebalancing shape —
+// leaf removal, internal-node replacement by predecessor/successor, sibling
+// borrows, and merges down to a collapsing root — by deleting from large
+// sequential trees in several orders.
+func TestRemoveRebalances(t *testing.T) {
+	const n = 5000
+	build := func() *Tree[k2] {
+		tr := New[k2]()
+		for i := 0; i < n; i++ {
+			tr.Insert(k2{uint32(i), uint32(i)})
+		}
+		return tr
+	}
+	orders := map[string]func(i int) int{
+		"ascending":  func(i int) int { return i },
+		"descending": func(i int) int { return n - 1 - i },
+		"inside-out": func(i int) int {
+			if i%2 == 0 {
+				return n/2 + i/2
+			}
+			return n/2 - (i+1)/2
+		},
+	}
+	for name, at := range orders {
+		tr := build()
+		for i := 0; i < n; i++ {
+			k := k2{uint32(at(i)), uint32(at(i))}
+			if !tr.Remove(k) {
+				t.Fatalf("%s: key %v missing at step %d", name, k, i)
+			}
+			if tr.Size() != n-1-i {
+				t.Fatalf("%s: size %d after %d removals", name, tr.Size(), i+1)
+			}
+		}
+		if !tr.Empty() {
+			t.Fatalf("%s: tree not empty", name)
+		}
+	}
+}
+
+// TestRemoveRandomizedAgainstModel interleaves random inserts and removes
+// and checks size, membership, and iteration order against a map model.
+func TestRemoveRandomizedAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	tr := New[k2]()
+	model := map[k2]bool{}
+	for step := 0; step < 30000; step++ {
+		k := k2{uint32(rng.Intn(500)), uint32(rng.Intn(500))}
+		if rng.Intn(3) == 0 {
+			if tr.Remove(k) != model[k] {
+				t.Fatalf("step %d: remove(%v) disagrees with model", step, k)
+			}
+			delete(model, k)
+		} else {
+			if tr.Insert(k) == model[k] {
+				t.Fatalf("step %d: insert(%v) newness disagrees with model", step, k)
+			}
+			model[k] = true
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("size %d, model %d", tr.Size(), len(model))
+	}
+	var keys []k2
+	for k := range model {
+		keys = append(keys, k)
+	}
+	want := sortedUnique(keys)
+	got := collect(tr)
+	if len(got) != len(want) {
+		t.Fatalf("iteration yields %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package dyntree
+
+import (
+	"sti/internal/tuple"
+)
+
+// Remove deletes k from the tree, reporting whether it was present: CLRS
+// B-tree deletion with the runtime comparator, mirroring internal/btree's
+// remove.go. k is not retained.
+func (t *Tree) Remove(k tuple.Tuple) bool {
+	if t.root == nil {
+		return false
+	}
+	if !t.remove(t.root, k) {
+		return false
+	}
+	if t.root.n == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	t.size--
+	return true
+}
+
+func (t *Tree) remove(nd *node, k tuple.Tuple) bool {
+	for {
+		i, found := nd.find(k, t.cmp)
+		if nd.leaf() {
+			if !found {
+				return false
+			}
+			copy(nd.keys[i:], nd.keys[i+1:int(nd.n)])
+			nd.keys[nd.n-1] = nil
+			nd.n--
+			return true
+		}
+		if found {
+			t.removeFromInternal(nd, i)
+			return true
+		}
+		if int(nd.children[i].n) < degree {
+			i = nd.fill(i)
+			var foundHere bool
+			i, foundHere = nd.find(k, t.cmp)
+			if foundHere {
+				t.removeFromInternal(nd, i)
+				return true
+			}
+		}
+		nd = nd.children[i]
+	}
+}
+
+func (t *Tree) removeFromInternal(nd *node, i int) {
+	k := nd.keys[i]
+	switch {
+	case int(nd.children[i].n) >= degree:
+		pred := maxKey(nd.children[i])
+		nd.keys[i] = pred
+		t.remove(nd.children[i], pred)
+	case int(nd.children[i+1].n) >= degree:
+		succ := minKey(nd.children[i+1])
+		nd.keys[i] = succ
+		t.remove(nd.children[i+1], succ)
+	default:
+		nd.mergeChildren(i)
+		t.remove(nd.children[i], k)
+	}
+}
+
+func maxKey(nd *node) tuple.Tuple {
+	for !nd.leaf() {
+		nd = nd.children[nd.n]
+	}
+	return nd.keys[nd.n-1]
+}
+
+func minKey(nd *node) tuple.Tuple {
+	for !nd.leaf() {
+		nd = nd.children[0]
+	}
+	return nd.keys[0]
+}
+
+func (nd *node) fill(i int) int {
+	switch {
+	case i > 0 && int(nd.children[i-1].n) >= degree:
+		nd.borrowFromLeft(i)
+	case i < int(nd.n) && int(nd.children[i+1].n) >= degree:
+		nd.borrowFromRight(i)
+	case i > 0:
+		nd.mergeChildren(i - 1)
+		i--
+	default:
+		nd.mergeChildren(i)
+	}
+	return i
+}
+
+func (nd *node) borrowFromLeft(i int) {
+	child, left := nd.children[i], nd.children[i-1]
+	copy(child.keys[1:int(child.n)+1], child.keys[:int(child.n)])
+	child.keys[0] = nd.keys[i-1]
+	if !child.leaf() {
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[left.n]
+		left.children = left.children[:left.n]
+	}
+	nd.keys[i-1] = left.keys[left.n-1]
+	left.keys[left.n-1] = nil
+	left.n--
+	child.n++
+}
+
+func (nd *node) borrowFromRight(i int) {
+	child, right := nd.children[i], nd.children[i+1]
+	child.keys[child.n] = nd.keys[i]
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		copy(right.children, right.children[1:])
+		right.children = right.children[:right.n]
+	}
+	nd.keys[i] = right.keys[0]
+	copy(right.keys[:], right.keys[1:int(right.n)])
+	right.keys[right.n-1] = nil
+	right.n--
+	child.n++
+}
+
+func (nd *node) mergeChildren(i int) {
+	child, right := nd.children[i], nd.children[i+1]
+	child.keys[child.n] = nd.keys[i]
+	copy(child.keys[int(child.n)+1:], right.keys[:int(right.n)])
+	if !child.leaf() {
+		child.children = append(child.children, right.children...)
+	}
+	child.n += right.n + 1
+
+	copy(nd.keys[i:], nd.keys[i+1:int(nd.n)])
+	nd.keys[nd.n-1] = nil
+	copy(nd.children[i+1:], nd.children[i+2:])
+	nd.children = nd.children[:nd.n]
+	nd.n--
+}

@@ -1,0 +1,100 @@
+package dyntree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+func TestRemoveBasics(t *testing.T) {
+	tr := New(OrderCmp(tuple.Order{0, 1}))
+	if tr.Remove(tuple.Tuple{1, 2}) {
+		t.Fatal("remove from empty tree reported a hit")
+	}
+	tr.Insert(tuple.Tuple{1, 2})
+	tr.Insert(tuple.Tuple{3, 4})
+	if tr.Remove(tuple.Tuple{1, 9}) {
+		t.Fatal("remove of absent tuple reported a hit")
+	}
+	if !tr.Remove(tuple.Tuple{1, 2}) || tr.Size() != 1 {
+		t.Fatalf("remove of present tuple failed (size=%d)", tr.Size())
+	}
+	if tr.Contains(tuple.Tuple{1, 2}) || !tr.Contains(tuple.Tuple{3, 4}) {
+		t.Fatal("membership wrong after remove")
+	}
+	if !tr.Remove(tuple.Tuple{3, 4}) || tr.Size() != 0 {
+		t.Fatal("tree not empty after removing everything")
+	}
+	if !tr.Insert(tuple.Tuple{5, 6}) {
+		t.Fatal("insert after emptying failed")
+	}
+}
+
+// TestRemoveRespectsOrder removes under a non-identity comparator and checks
+// the survivors still enumerate in index order (element 1 first).
+func TestRemoveRespectsOrder(t *testing.T) {
+	order := tuple.Order{1, 0}
+	tr := New(OrderCmp(order))
+	rng := rand.New(rand.NewSource(17))
+	model := map[[2]value.Value]bool{}
+	for step := 0; step < 20000; step++ {
+		k := [2]value.Value{value.Value(rng.Intn(300)), value.Value(rng.Intn(300))}
+		tup := tuple.Tuple{k[0], k[1]}
+		if rng.Intn(3) == 0 {
+			if tr.Remove(tup) != model[k] {
+				t.Fatalf("step %d: remove(%v) disagrees with model", step, tup)
+			}
+			delete(model, k)
+		} else {
+			if tr.Insert(tup) == model[k] {
+				t.Fatalf("step %d: insert(%v) newness disagrees with model", step, tup)
+			}
+			model[k] = true
+		}
+	}
+	if tr.Size() != len(model) {
+		t.Fatalf("size %d, model %d", tr.Size(), len(model))
+	}
+	it := tr.Iter()
+	got := drain(it)
+	if len(got) != len(model) {
+		t.Fatalf("iteration yields %d tuples, want %d", len(got), len(model))
+	}
+	cmp := OrderCmp(order)
+	for i := 1; i < len(got); i++ {
+		if cmp(got[i-1], got[i]) >= 0 {
+			t.Fatalf("iteration out of order at %d: %v then %v", i, got[i-1], got[i])
+		}
+	}
+	for _, tup := range got {
+		if !model[[2]value.Value{tup[0], tup[1]}] {
+			t.Fatalf("iteration yielded deleted tuple %v", tup)
+		}
+	}
+}
+
+// TestRemoveDrainsSequential forces the full rebalancing repertoire by
+// deleting a large sequential load in both directions.
+func TestRemoveDrainsSequential(t *testing.T) {
+	for _, desc := range []bool{false, true} {
+		tr := New(OrderCmp(tuple.Order{0, 1}))
+		const n = 4000
+		for i := 0; i < n; i++ {
+			tr.Insert(tuple.Tuple{value.Value(i), value.Value(i)})
+		}
+		for i := 0; i < n; i++ {
+			j := i
+			if desc {
+				j = n - 1 - i
+			}
+			if !tr.Remove(tuple.Tuple{value.Value(j), value.Value(j)}) {
+				t.Fatalf("desc=%v: tuple %d missing at step %d", desc, j, i)
+			}
+		}
+		if tr.Size() != 0 {
+			t.Fatalf("desc=%v: tree not drained (size=%d)", desc, tr.Size())
+		}
+	}
+}

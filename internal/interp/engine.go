@@ -51,15 +51,19 @@ type Engine struct {
 	rootLoad  *inode
 	rootEval  *inode
 	rootStore *inode
-	// rootUpdate is generated lazily from prog.Update on first EvalUpdate.
+	// rootUpdate is generated lazily from prog.Update on first EvalUpdate;
+	// rootDelete likewise from prog.Delete on first EvalDelete.
 	rootUpdate *inode
+	rootDelete *inode
 	gen        *generator
 	phase      Phase
 
 	// recent maps a source relation ID to its recent_R freshness tracker
 	// (nil entries when the program has no update variant or the relation
-	// is an eqrel).
+	// is an eqrel). del likewise maps to the del_R retraction tracker of
+	// deletable programs.
 	recent []*relation.Relation
+	del    []*relation.Relation
 
 	prof *profiler
 	prov *provenance
@@ -82,9 +86,13 @@ func New(prog *ram.Program, st *symtab.Table, cfg Config) *Engine {
 		e.rels = append(e.rels, buildRelation(rd, cfg))
 	}
 	e.recent = make([]*relation.Relation, len(prog.Relations))
+	e.del = make([]*relation.Relation, len(prog.Relations))
 	for i, rd := range prog.Relations {
 		if rd.Aux && rd.Kind == ram.AuxRecent {
 			e.recent[rd.BaseID] = e.rels[i]
+		}
+		if rd.Aux && rd.Kind == ram.AuxDel {
+			e.del[rd.BaseID] = e.rels[i]
 		}
 	}
 	// Bind telemetry before tree generation so the generated insert nodes can
@@ -168,7 +176,11 @@ func buildRelation(rd *ram.Relation, cfg Config) *relation.Relation {
 	if len(orders) == 0 {
 		orders = []tuple.Order{tuple.Identity(rd.Arity)}
 	}
-	return relation.New(rd.Name, rep, rd.Arity, orders)
+	rel := relation.New(rd.Name, rep, rd.Arity, orders)
+	if rd.Counting {
+		rel.EnableCounting()
+	}
+	return rel
 }
 
 // RuntimeError reports an evaluation failure (division by zero, bad
@@ -183,6 +195,18 @@ func (e *Engine) Phase() Phase { return e.phase }
 // i.e. whether EvalUpdate can re-evaluate insert-only batches without a
 // full recomputation.
 func (e *Engine) Incremental() bool { return e.prog.Update != nil }
+
+// Deletable reports whether the program carries a delete entry point, i.e.
+// whether EvalDelete can retract staged facts without a full recomputation.
+func (e *Engine) Deletable() bool { return e.prog.Delete != nil }
+
+// NoUpdateReason returns the analysis fact explaining a missing update
+// entry point ("" when the program is incremental).
+func (e *Engine) NoUpdateReason() string { return e.prog.NoUpdateReason }
+
+// NoDeleteReason returns the analysis fact explaining a missing delete
+// entry point ("" when the program is deletable).
+func (e *Engine) NoDeleteReason() string { return e.prog.NoDeleteReason }
 
 // execTree evaluates one generated tree, converting RuntimeError panics
 // into errors. A nil root is a no-op; nil io runs against a fresh
@@ -327,6 +351,63 @@ func (e *Engine) EvalUpdate() error {
 		e.tel.End(span, "run", "update")
 	}
 	return err
+}
+
+// EvalDelete incrementally retracts the facts staged with DeleteFacts: it
+// runs Program.Delete, which computes the exact set of tuples losing their
+// last derivation (support counting for non-recursive strata, overdelete +
+// rederive for recursive ones) and removes them. The engine stays
+// PhaseReady. The delete tree is generated on first use.
+func (e *Engine) EvalDelete() error {
+	if e.phase != PhaseReady {
+		return fmt.Errorf("interp: EvalDelete in phase %s (want ready)", e.phase)
+	}
+	if e.prog.Delete == nil {
+		if why := e.prog.NoDeleteReason; why != "" {
+			return fmt.Errorf("interp: program has no delete entry point: %s", why)
+		}
+		return fmt.Errorf("interp: program has no delete entry point")
+	}
+	if e.rootDelete == nil {
+		e.rootDelete = e.gen.genStatement(e.prog.Delete)
+	}
+	span := e.tel.Begin()
+	err := e.execTree(nil, e.rootDelete)
+	if e.tel != nil {
+		e.tel.End(span, "run", "delete")
+	}
+	return err
+}
+
+// DeleteFacts stages encoded tuples of a source relation for retraction: the
+// tuples currently present are recorded in the relation's del_R tracker for
+// a following EvalDelete, which decides what else dies with them and performs
+// all physical removal. Nothing is removed here — queries keep observing the
+// old state until EvalDelete runs. Tuples not present are ignored. It reports
+// how many tuples were staged.
+func (e *Engine) DeleteFacts(name string, tuples []tuple.Tuple) (int, error) {
+	rd := e.decl(name)
+	if rd == nil {
+		return 0, fmt.Errorf("unknown relation %s", name)
+	}
+	del := e.del[rd.ID]
+	if del == nil {
+		if why := e.prog.NoDeleteReason; why != "" {
+			return 0, fmt.Errorf("relation %s has no retraction tracker: %s", name, why)
+		}
+		return 0, fmt.Errorf("relation %s has no retraction tracker", name)
+	}
+	rel := e.rels[rd.ID]
+	staged := 0
+	for _, t := range tuples {
+		if len(t) != rd.Arity {
+			return staged, fmt.Errorf("relation %s has arity %d, got a tuple of %d values", name, rd.Arity, len(t))
+		}
+		if rel.Contains(t) && del.Insert(t) {
+			staged++
+		}
+	}
+	return staged, nil
 }
 
 // Reset clears every relation (including all scratch and freshness

@@ -24,6 +24,9 @@ const (
 	opClear
 	opSwap
 	opMerge
+	opSubtract
+	opCountMerge
+	opCountDelete
 	opIO
 	opLogTimer
 
@@ -92,7 +95,8 @@ type inode struct {
 
 	// relational operands
 	rel    *relation.Relation // target relation
-	rel2   *relation.Relation // second relation (swap, merge source)
+	rel2   *relation.Relation // second relation (swap, merge/subtract source)
+	rel3   *relation.Relation // third relation (count-merge fresh, count-delete gone)
 	idx    relation.Index     // chosen index (dynamic path)
 	impls  []any              // concrete stores for the static path
 	orders []tuple.Order      // per-impl index orders (inserts)

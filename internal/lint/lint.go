@@ -9,6 +9,9 @@
 //	always-empty-rule      body reads a relation that can never hold facts
 //	unreachable-rule       derived facts can never reach an output
 //	negation-in-recursion  negation through a recursive cycle (unstratifiable)
+//	input-and-derived      rules derive an .input relation (loses the
+//	                       incremental delete path: retraction cannot
+//	                       attribute tuples to EDB vs rules)
 //
 // The groundedness rule reuses the checker's semantics via the exported
 // sema.GroundVars helpers, so lint and sema never disagree about what is
@@ -61,6 +64,7 @@ func Check(path string, prog *ast.Program) []Diagnostic {
 	c.alwaysEmptyRules()
 	c.unreachableRules()
 	c.negationInRecursion()
+	c.inputAndDerived()
 	sort.SliceStable(c.diags, func(i, j int) bool {
 		a, b := c.diags[i], c.diags[j]
 		if a.Line != b.Line {
@@ -337,6 +341,28 @@ func (c *checker) negationInRecursion() {
 				"negation of %s inside a recursive cycle with %s; the program cannot be stratified",
 				e.from, e.to)
 		}
+	}
+}
+
+// inputAndDerived: a rule head naming an .input relation makes its tuples
+// attributable to both EDB assertions and derivations. Such relations
+// silently force the resident database's full-recompute fallback — the
+// delete program cannot decide which origin holds a tuple up — and are the
+// most common reason an Apply stream loses the incremental path.
+func (c *checker) inputAndDerived() {
+	inputs := c.directives(ast.DirInput)
+	warned := map[string]bool{}
+	for _, cl := range c.prog.Clauses {
+		if len(cl.Body) == 0 {
+			continue // ground facts are EDB, not derivations
+		}
+		name := cl.Head.Name
+		if !inputs[name] || warned[name] {
+			continue
+		}
+		warned[name] = true
+		c.add(cl.Pos, "input-and-derived", Warning,
+			"relation %s is both .input and derived by rules; retraction cannot attribute its tuples, forcing the recompute fallback on every delete batch", name)
 	}
 }
 

@@ -68,6 +68,7 @@ func TestCorpusSeededDefects(t *testing.T) {
 			{13, 1, "unreachable-rule"},
 		}},
 		{"negation_in_recursion.dl", []at{{10, 19, "negation-in-recursion"}}},
+		{"input_and_derived.dl", []at{{14, 1, "input-and-derived"}}},
 	}
 	for _, c := range cases {
 		t.Run(c.file, func(t *testing.T) {
@@ -88,6 +89,7 @@ func TestCorpusFilesFireOnlyTheirOwnKind(t *testing.T) {
 		"always_empty.dl":          "always-empty-rule",
 		"unreachable_rule.dl":      "unreachable-rule",
 		"negation_in_recursion.dl": "negation-in-recursion",
+		"input_and_derived.dl":     "input-and-derived",
 	}
 	entries, err := os.ReadDir(corpusDir)
 	if err != nil {

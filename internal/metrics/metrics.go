@@ -35,6 +35,7 @@ import (
 type IndexOps struct {
 	Inserts    atomic.Uint64 // tuples offered for insertion
 	Fresh      atomic.Uint64 // tuples newly added (Inserts - Fresh = dedup hits)
+	Deletes    atomic.Uint64 // tuples removed (delete-propagation path)
 	Lookups    atomic.Uint64 // membership tests (Contains / ContainsEncoded)
 	Scans      atomic.Uint64 // full scans opened
 	RangeScans atomic.Uint64 // prefix scans opened
@@ -47,6 +48,7 @@ type IndexOpsView struct {
 	Order      string `json:"order,omitempty"`
 	Inserts    uint64 `json:"inserts"`
 	Fresh      uint64 `json:"fresh"`
+	Deletes    uint64 `json:"deletes,omitempty"`
 	Lookups    uint64 `json:"lookups"`
 	Scans      uint64 `json:"scans"`
 	RangeScans uint64 `json:"range_scans"`
@@ -59,6 +61,7 @@ func (o *IndexOps) View() IndexOpsView {
 	return IndexOpsView{
 		Inserts:    o.Inserts.Load(),
 		Fresh:      o.Fresh.Load(),
+		Deletes:    o.Deletes.Load(),
 		Lookups:    o.Lookups.Load(),
 		Scans:      o.Scans.Load(),
 		RangeScans: o.RangeScans.Load(),
@@ -79,9 +82,11 @@ type RelationStats struct {
 	BaseID int    `json:"base_id"`
 
 	// Inserts counts tuples that were genuinely new; DedupHits counts
-	// insert attempts the primary index rejected as duplicates.
+	// insert attempts the primary index rejected as duplicates; Deletes
+	// counts tuples physically retracted by delete propagation.
 	Inserts   uint64 `json:"inserts"`
 	DedupHits uint64 `json:"dedup_hits"`
+	Deletes   uint64 `json:"deletes,omitempty"`
 	// PeakDelta is the largest per-iteration fresh-tuple count observed for
 	// this relation across all fixpoint iterations (0 outside recursion).
 	PeakDelta uint64 `json:"peak_delta"`
@@ -108,6 +113,12 @@ func (rs *RelationStats) CountInsert(added bool) {
 func (rs *RelationStats) CountBulk(attempted, added int) {
 	rs.Inserts += uint64(added)
 	rs.DedupHits += uint64(attempted - added)
+}
+
+// CountDelete records one physical tuple retraction. Like CountInsert it
+// must only be called while holding the mutation right on the relation.
+func (rs *RelationStats) CountDelete() {
+	rs.Deletes++
 }
 
 // FixpointStats records one execution of a RAM LOOP: the convergence curve

@@ -58,6 +58,10 @@ const (
 	UseSwap                      // SWAP operand (read side)
 	UseStore                     // STORE to the IO handler
 	UsePrintSize                 // PRINTSIZE to the IO handler
+	DefSubtract                  // SUBTRACT destination (tuples removed in place)
+	UseSubtract                  // SUBTRACT source (the tuples to remove)
+	DefCount                     // COUNT-MERGE/COUNT-DELETE write side (Dst, Fresh, Gone)
+	UseCount                     // COUNT-MERGE/COUNT-DELETE read side (Src, and Dst's counts)
 )
 
 func (k SiteKind) String() string {
@@ -65,16 +69,18 @@ func (k SiteKind) String() string {
 		"project", "merge-dst", "swap-write", "load",
 		"scan", "aggregate", "existence", "emptiness",
 		"merge-src", "swap-read", "store", "printsize",
+		"subtract-dst", "subtract-src", "count-write", "count-read",
 	}[k]
 }
 
 // Site is one def or use of a relation: the statement it occurs under
-// (a *ram.Query for operation-level sites) and whether it belongs to the
-// update program.
+// (a *ram.Query for operation-level sites) and which program section it
+// belongs to (Main when neither flag is set).
 type Site struct {
 	Kind     SiteKind
 	Stmt     ram.Statement
 	InUpdate bool
+	InDelete bool
 }
 
 // Binding is one bound-argument pattern observed on searches of a relation:
@@ -180,14 +186,22 @@ func Analyze(p *ram.Program) *Facts {
 	}
 	a := &analyzer{f: f, edges: map[[2]*ram.Relation]bool{}, bindings: map[*ram.Relation]map[string]*Binding{}}
 	if p.Main != nil {
-		a.stmt(p.Main, false)
+		a.stmt(p.Main, sec{})
 	}
 	if p.Update != nil {
-		a.stmt(p.Update, true)
+		a.stmt(p.Update, sec{update: true})
+	}
+	if p.Delete != nil {
+		a.stmt(p.Delete, sec{del: true})
 	}
 	a.finishBindings()
 	f.computeLiveness()
 	return f
+}
+
+// sec identifies which program section a site was found in.
+type sec struct {
+	update, del bool
 }
 
 type analyzer struct {
@@ -198,15 +212,15 @@ type analyzer struct {
 
 func (a *analyzer) rf(rel *ram.Relation) *RelFacts { return a.f.byRel[rel] }
 
-func (a *analyzer) def(rel *ram.Relation, kind SiteKind, stmt ram.Statement, inUpdate bool) {
+func (a *analyzer) def(rel *ram.Relation, kind SiteKind, stmt ram.Statement, s sec) {
 	if rf := a.rf(rel); rf != nil {
-		rf.Defs = append(rf.Defs, Site{Kind: kind, Stmt: stmt, InUpdate: inUpdate})
+		rf.Defs = append(rf.Defs, Site{Kind: kind, Stmt: stmt, InUpdate: s.update, InDelete: s.del})
 	}
 }
 
-func (a *analyzer) use(rel *ram.Relation, kind SiteKind, stmt ram.Statement, inUpdate bool) {
+func (a *analyzer) use(rel *ram.Relation, kind SiteKind, stmt ram.Statement, s sec) {
 	if rf := a.rf(rel); rf != nil {
-		rf.Uses = append(rf.Uses, Site{Kind: kind, Stmt: stmt, InUpdate: inUpdate})
+		rf.Uses = append(rf.Uses, Site{Kind: kind, Stmt: stmt, InUpdate: s.update, InDelete: s.del})
 	}
 }
 
@@ -265,117 +279,142 @@ func (a *analyzer) finishBindings() {
 	}
 }
 
-func (a *analyzer) stmt(s ram.Statement, inUpdate bool) {
+func (a *analyzer) stmt(s ram.Statement, in sec) {
 	switch s := s.(type) {
 	case *ram.Sequence:
 		for _, st := range s.Stmts {
 			if st != nil {
-				a.stmt(st, inUpdate)
+				a.stmt(st, in)
 			}
 		}
 	case *ram.Loop:
 		if s.Body != nil {
-			a.stmt(s.Body, inUpdate)
+			a.stmt(s.Body, in)
 		}
 	case *ram.Exit:
 		for rel := range condReads(s.Cond) {
-			a.use(rel, UseEmptiness, s, inUpdate)
+			a.use(rel, UseEmptiness, s, in)
 		}
 	case *ram.Query:
 		reads, writes := QueryEffects(s)
 		for rel := range writes {
-			a.def(rel, DefProject, s, inUpdate)
+			a.def(rel, DefProject, s, in)
 			for rd := range reads {
 				a.edge(rd, rel)
 			}
 		}
 		// Rewalk for per-site kind, index, and binding detail (QueryEffects
 		// only aggregates relation sets).
-		a.searchSites(s.Root, s, inUpdate)
+		a.searchSites(s.Root, s, in)
 	case *ram.Clear:
 		// Clearing neither defines nor uses tuples; it resets scratch space.
 	case *ram.Swap:
 		if s.A != nil && s.B != nil {
-			a.def(s.A, DefSwap, s, inUpdate)
-			a.def(s.B, DefSwap, s, inUpdate)
-			a.use(s.A, UseSwap, s, inUpdate)
-			a.use(s.B, UseSwap, s, inUpdate)
+			a.def(s.A, DefSwap, s, in)
+			a.def(s.B, DefSwap, s, in)
+			a.use(s.A, UseSwap, s, in)
+			a.use(s.B, UseSwap, s, in)
 			a.edge(s.A, s.B)
 			a.edge(s.B, s.A)
 		}
 	case *ram.Merge:
 		if s.Dst != nil && s.Src != nil {
-			a.def(s.Dst, DefMerge, s, inUpdate)
-			a.use(s.Src, UseMergeSrc, s, inUpdate)
+			a.def(s.Dst, DefMerge, s, in)
+			a.use(s.Src, UseMergeSrc, s, in)
 			a.edge(s.Src, s.Dst)
+		}
+	case *ram.Subtract:
+		if s.Dst != nil && s.Src != nil {
+			a.def(s.Dst, DefSubtract, s, in)
+			a.use(s.Src, UseSubtract, s, in)
+			a.edge(s.Src, s.Dst)
+		}
+	case *ram.CountMerge:
+		if s.Dst != nil && s.Src != nil && s.Fresh != nil {
+			a.def(s.Dst, DefCount, s, in)
+			a.def(s.Fresh, DefCount, s, in)
+			a.use(s.Src, UseCount, s, in)
+			a.edge(s.Src, s.Dst)
+			a.edge(s.Src, s.Fresh)
+		}
+	case *ram.CountDelete:
+		if s.Dst != nil && s.Src != nil && s.Gone != nil {
+			// The destination's support counts are both read (to find the
+			// zero transitions) and decremented in place.
+			a.def(s.Dst, DefCount, s, in)
+			a.def(s.Gone, DefCount, s, in)
+			a.use(s.Src, UseCount, s, in)
+			a.use(s.Dst, UseCount, s, in)
+			a.edge(s.Src, s.Gone)
+			a.edge(s.Dst, s.Gone)
 		}
 	case *ram.IO:
 		switch s.Kind {
 		case ram.IOLoad:
-			a.def(s.Rel, DefLoad, s, inUpdate)
+			a.def(s.Rel, DefLoad, s, in)
 		case ram.IOStore:
-			a.use(s.Rel, UseStore, s, inUpdate)
+			a.use(s.Rel, UseStore, s, in)
 		case ram.IOPrintSize:
-			a.use(s.Rel, UsePrintSize, s, inUpdate)
+			a.use(s.Rel, UsePrintSize, s, in)
 		}
 	case *ram.LogTimer:
 		if s.Stmt != nil {
-			a.stmt(s.Stmt, inUpdate)
+			a.stmt(s.Stmt, in)
 		}
 	}
 }
 
 // searchSites records per-site use kinds, index usage, and binding patterns
 // for every search in an operation tree.
-func (a *analyzer) searchSites(o ram.Operation, q *ram.Query, inUpdate bool) {
+func (a *analyzer) searchSites(o ram.Operation, q *ram.Query, in sec) {
 	switch o := o.(type) {
 	case *ram.Scan:
-		a.use(o.Rel, UseScan, q, inUpdate)
+		a.use(o.Rel, UseScan, q, in)
 		a.binding(o.Rel, nil)
-		a.searchSites(o.Nested, q, inUpdate)
+		a.searchSites(o.Nested, q, in)
 	case *ram.IndexScan:
-		a.use(o.Rel, UseScan, q, inUpdate)
+		a.use(o.Rel, UseScan, q, in)
 		a.markIndex(o.Rel, o.IndexID)
 		a.binding(o.Rel, o.Pattern)
-		a.searchSites(o.Nested, q, inUpdate)
+		a.searchSites(o.Nested, q, in)
 	case *ram.Choice:
-		a.use(o.Rel, UseScan, q, inUpdate)
+		a.use(o.Rel, UseScan, q, in)
 		a.binding(o.Rel, nil)
-		a.searchConds(o.Cond, q, inUpdate)
-		a.searchSites(o.Nested, q, inUpdate)
+		a.searchConds(o.Cond, q, in)
+		a.searchSites(o.Nested, q, in)
 	case *ram.IndexChoice:
-		a.use(o.Rel, UseScan, q, inUpdate)
+		a.use(o.Rel, UseScan, q, in)
 		a.markIndex(o.Rel, o.IndexID)
 		a.binding(o.Rel, o.Pattern)
-		a.searchConds(o.Cond, q, inUpdate)
-		a.searchSites(o.Nested, q, inUpdate)
+		a.searchConds(o.Cond, q, in)
+		a.searchSites(o.Nested, q, in)
 	case *ram.Filter:
-		a.searchConds(o.Cond, q, inUpdate)
-		a.searchSites(o.Nested, q, inUpdate)
+		a.searchConds(o.Cond, q, in)
+		a.searchSites(o.Nested, q, in)
 	case *ram.Aggregate:
-		a.use(o.Rel, UseAggregate, q, inUpdate)
+		a.use(o.Rel, UseAggregate, q, in)
 		if o.IndexID >= 0 {
 			a.markIndex(o.Rel, o.IndexID)
 		}
 		a.binding(o.Rel, o.Pattern)
-		a.searchConds(o.Cond, q, inUpdate)
-		a.searchSites(o.Nested, q, inUpdate)
+		a.searchConds(o.Cond, q, in)
+		a.searchSites(o.Nested, q, in)
 	case *ram.Project:
 		// leaf
 	}
 }
 
-func (a *analyzer) searchConds(c ram.Condition, q *ram.Query, inUpdate bool) {
+func (a *analyzer) searchConds(c ram.Condition, q *ram.Query, in sec) {
 	switch c := c.(type) {
 	case *ram.And:
-		a.searchConds(c.L, q, inUpdate)
-		a.searchConds(c.R, q, inUpdate)
+		a.searchConds(c.L, q, in)
+		a.searchConds(c.R, q, in)
 	case *ram.Not:
-		a.searchConds(c.C, q, inUpdate)
+		a.searchConds(c.C, q, in)
 	case *ram.EmptinessCheck:
-		a.use(c.Rel, UseEmptiness, q, inUpdate)
+		a.use(c.Rel, UseEmptiness, q, in)
 	case *ram.ExistenceCheck:
-		a.use(c.Rel, UseExistence, q, inUpdate)
+		a.use(c.Rel, UseExistence, q, in)
 		a.markIndex(c.Rel, c.IndexID)
 		a.binding(c.Rel, c.Pattern)
 	}

@@ -115,6 +115,10 @@ func (p *printer) program(prog *Program) {
 		p.line(0, []any{prog.Update}, "UPDATE")
 		p.stmt(prog.Update, 1)
 	}
+	if prog.Delete != nil {
+		p.line(0, []any{prog.Delete}, "DELETE")
+		p.stmt(prog.Delete, 1)
+	}
 }
 
 func (p *printer) stmt(s Statement, depth int) {
@@ -146,6 +150,14 @@ func (p *printer) stmt(s Statement, depth int) {
 		p.line(depth, []any{s}, "SWAP (%s, %s)", relName(s.A), relName(s.B))
 	case *Merge:
 		p.line(depth, []any{s}, "MERGE %s INTO %s", relName(s.Src), relName(s.Dst))
+	case *Subtract:
+		p.line(depth, []any{s}, "SUBTRACT %s FROM %s", relName(s.Src), relName(s.Dst))
+	case *CountMerge:
+		p.line(depth, []any{s}, "COUNT-MERGE %s INTO %s FRESH %s",
+			relName(s.Src), relName(s.Dst), relName(s.Fresh))
+	case *CountDelete:
+		p.line(depth, []any{s}, "COUNT-DELETE %s FROM %s GONE %s",
+			relName(s.Src), relName(s.Dst), relName(s.Gone))
 	case *IO:
 		switch s.Kind {
 		case IOLoad:

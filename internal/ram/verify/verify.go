@@ -62,6 +62,17 @@ const (
 	RuleUpdateWrite   = "update-write"   // update inserts target aux or eqrel relations only
 	RuleUpdateStratum = "update-stratum" // update writes never target a lower stratum than a read
 	RuleUpdateAlias   = "update-alias"   // update queries never read their insert targets
+
+	// Delete-program invariants (Program.Delete, the counting/DRed
+	// retraction entry point). The delete program must compute the dying
+	// sets without touching the physical relations — only the final
+	// SUBTRACT statements remove tuples — so every insert stays inside the
+	// delete scratch space and rederivation never runs before its
+	// stratum's overdeletion has converged.
+	RuleDeleteNoIO  = "delete-no-io"               // the delete program performs no IO
+	RuleDeleteWrite = "delete-write-targets"       // delete inserts target delete-scratch aux relations only
+	RuleDeleteOrder = "overdelete-before-rederive" // per base relation, del-family writes precede all red-family writes
+	RuleCountShape  = "counts-nonnegative"         // COUNT-MERGE/COUNT-DELETE operands carry support counts of matching shape
 )
 
 // Diag is one invariant violation: the offending node (nil for
@@ -136,6 +147,12 @@ func Program(p *ram.Program) []Diag {
 		c.stmt(p.Update, false)
 		c.inUpdate = false
 	}
+	if p.Delete != nil {
+		c.inDelete = true
+		c.redTouched = map[int]bool{}
+		c.stmt(p.Delete, false)
+		c.inDelete = false
+	}
 	return c.diags
 }
 
@@ -201,6 +218,13 @@ type checker struct {
 	// inUpdate marks traversal of Program.Update, where the Rule-Update*
 	// invariants apply.
 	inUpdate bool
+	// inDelete marks traversal of Program.Delete, where the Rule-Delete*
+	// invariants apply.
+	inDelete bool
+	// redTouched records, per BaseID, that the delete walk has written a
+	// rederivation-family relation; later del-family writes of the same
+	// base violate overdelete-before-rederive.
+	redTouched map[int]bool
 }
 
 // ioKey identifies one I/O action on one relation, for duplicate detection.
@@ -331,6 +355,9 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 		if c.inUpdate {
 			c.updateQuery(s)
 		}
+		if c.inDelete {
+			c.deleteQuery(s)
+		}
 	case *ram.Clear:
 		c.relDeclared(s, s.Rel, "CLEAR")
 	case *ram.Swap:
@@ -338,6 +365,10 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 		okB := c.relDeclared(s, s.B, "SWAP")
 		if okA && okB && !sameShape(s.A, s.B) {
 			c.addf(s, RuleSwapShape, "SWAP (%s, %s) operands differ in arity, types, representation, or index orders", s.A.Name, s.B.Name)
+		}
+		if c.inDelete && okA && okB {
+			c.deleteWrite(s, s.A, "SWAP")
+			c.deleteWrite(s, s.B, "SWAP")
 		}
 	case *ram.Merge:
 		okD := c.relDeclared(s, s.Dst, "MERGE")
@@ -349,6 +380,47 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 			if c.inUpdate && s.Dst.Stratum < s.Src.Stratum {
 				c.addf(s, RuleUpdateStratum, "update MERGE %s INTO %s writes stratum %d from stratum %d", s.Src.Name, s.Dst.Name, s.Dst.Stratum, s.Src.Stratum)
 			}
+			if c.inDelete {
+				c.deleteWrite(s, s.Dst, "MERGE")
+			}
+		}
+	case *ram.Subtract:
+		okD := c.relDeclared(s, s.Dst, "SUBTRACT")
+		okS := c.relDeclared(s, s.Src, "SUBTRACT")
+		if okD && okS && (s.Dst.Arity != s.Src.Arity || !sameTypes(s.Dst, s.Src)) {
+			c.addf(s, RuleMergeShape, "SUBTRACT %s FROM %s with mismatched signatures (arity %d vs %d)", s.Src.Name, s.Dst.Name, s.Src.Arity, s.Dst.Arity)
+		}
+		// SUBTRACT is the one statement allowed to shrink non-scratch
+		// relations (the phase-B removal pass and del := del - red), so it
+		// is exempt from delete-write-targets and the ordering rule.
+	case *ram.CountMerge:
+		okD := c.relDeclared(s, s.Dst, "COUNT-MERGE")
+		okS := c.relDeclared(s, s.Src, "COUNT-MERGE")
+		okF := c.relDeclared(s, s.Fresh, "COUNT-MERGE")
+		if okD && okS && okF {
+			c.countShape(s, "COUNT-MERGE", s.Dst, s.Src)
+			if s.Fresh.Kind != ram.AuxRecent {
+				c.addf(s, RuleCountShape, "COUNT-MERGE into %s reports fresh tuples to %s (kind %s), want a recent tracker", s.Dst.Name, s.Fresh.Name, s.Fresh.Kind)
+			}
+			if s.Dst.Arity != s.Fresh.Arity || !sameTypes(s.Dst, s.Fresh) {
+				c.addf(s, RuleCountShape, "COUNT-MERGE into %s and fresh tracker %s have mismatched signatures (arity %d vs %d)", s.Dst.Name, s.Fresh.Name, s.Dst.Arity, s.Fresh.Arity)
+			}
+		}
+	case *ram.CountDelete:
+		okD := c.relDeclared(s, s.Dst, "COUNT-DELETE")
+		okS := c.relDeclared(s, s.Src, "COUNT-DELETE")
+		okG := c.relDeclared(s, s.Gone, "COUNT-DELETE")
+		if okD && okS && okG {
+			c.countShape(s, "COUNT-DELETE", s.Dst, s.Src)
+			if s.Gone.Kind != ram.AuxDel {
+				c.addf(s, RuleCountShape, "COUNT-DELETE from %s reports dead tuples to %s (kind %s), want a del tracker", s.Dst.Name, s.Gone.Name, s.Gone.Kind)
+			}
+			if s.Dst.Arity != s.Gone.Arity || !sameTypes(s.Dst, s.Gone) {
+				c.addf(s, RuleCountShape, "COUNT-DELETE from %s and del tracker %s have mismatched signatures (arity %d vs %d)", s.Dst.Name, s.Gone.Name, s.Dst.Arity, s.Gone.Arity)
+			}
+			if c.inDelete {
+				c.deleteWrite(s, s.Gone, "COUNT-DELETE")
+			}
 		}
 	case *ram.IO:
 		if !c.relDeclared(s, s.Rel, "IO") {
@@ -356,6 +428,9 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 		}
 		if c.inUpdate {
 			c.addf(s, RuleUpdateNoIO, "update program performs IO on %s", s.Rel.Name)
+		}
+		if c.inDelete {
+			c.addf(s, RuleDeleteNoIO, "delete program performs IO on %s", s.Rel.Name)
 		}
 		if c.ioSeen == nil {
 			c.ioSeen = map[ioKey]bool{}
@@ -556,6 +631,68 @@ func (c *checker) updateQuery(q *ram.Query) {
 				c.addf(q, RuleUpdateStratum, "update query %q writes %s (stratum %d) while reading %s (stratum %d)", q.Label, rel.Name, rel.Stratum, rd.Name, rd.Stratum)
 			}
 		}
+	}
+}
+
+// countShape checks the (Dst, Src) pair shared by COUNT-MERGE and
+// COUNT-DELETE: the destination maintains per-tuple support counts, the
+// source is a multiplicity buffer, and their signatures agree — the shape
+// that keeps support counts non-negative and exact.
+func (c *checker) countShape(node any, what string, dst, src *ram.Relation) {
+	if !dst.Counting {
+		c.addf(node, RuleCountShape, "%s targets %s, which does not maintain support counts", what, dst.Name)
+	}
+	if src.Kind != ram.AuxCount {
+		c.addf(node, RuleCountShape, "%s reads multiplicities from %s (kind %s), want a count buffer", what, src.Name, src.Kind)
+	} else if !src.Counting {
+		c.addf(node, RuleCountShape, "%s count buffer %s does not maintain support counts", what, src.Name)
+	}
+	if dst.Arity != src.Arity || !sameTypes(dst, src) {
+		c.addf(node, RuleCountShape, "%s %s and %s have mismatched signatures (arity %d vs %d)", what, src.Name, dst.Name, src.Arity, dst.Arity)
+	}
+}
+
+// delFamily reports whether kind belongs to the overdeletion scratch space.
+func delFamily(k ram.AuxKind) bool {
+	return k == ram.AuxDel || k == ram.AuxDelDelta || k == ram.AuxDelNew
+}
+
+// redFamily reports whether kind belongs to the rederivation scratch space.
+func redFamily(k ram.AuxKind) bool {
+	return k == ram.AuxRed || k == ram.AuxRedDelta || k == ram.AuxRedNew
+}
+
+// deleteWrite enforces the two write rules of the delete program on one
+// written relation: writes stay inside the delete scratch space (count
+// buffers and the del/red families — the physical relations only shrink,
+// via the exempt SUBTRACT statements), and once a base relation's
+// rederivation scratch has been written, its del family is frozen
+// (overdelete-before-rederive: rederivation reads del_R as the exact
+// overdeleted set, so growing it afterwards would unsoundly skip tuples).
+func (c *checker) deleteWrite(node any, rel *ram.Relation, what string) {
+	if !rel.Aux || !(rel.Kind == ram.AuxCount || delFamily(rel.Kind) || redFamily(rel.Kind)) {
+		c.addf(node, RuleDeleteWrite, "delete %s writes %s (kind %s), want a count buffer or del/red tracker", what, rel.Name, rel.Kind)
+		return
+	}
+	if redFamily(rel.Kind) {
+		c.redTouched[rel.BaseID] = true
+	}
+	if delFamily(rel.Kind) && c.redTouched[rel.BaseID] {
+		c.addf(node, RuleDeleteOrder, "delete %s writes %s after the rederivation of its base has begun", what, rel.Name)
+	}
+}
+
+// deleteQuery enforces the delete-program invariants on one query: every
+// insert target is delete scratch (the physical relations must keep
+// presenting the old state until the final SUBTRACT pass) and respects the
+// overdelete-before-rederive ordering of its base relation.
+func (c *checker) deleteQuery(q *ram.Query) {
+	_, writes := analysis.QueryEffects(q)
+	for rel := range writes {
+		if rel == nil {
+			continue
+		}
+		c.deleteWrite(q, rel, fmt.Sprintf("query %q", q.Label))
 	}
 }
 

@@ -40,6 +40,14 @@ func deadCode(p *ram.Program) {
 			p.Update = &ram.Sequence{}
 		}
 	}
+	if p.Delete != nil {
+		p.Delete = elimStmt(p.Delete, f)
+		if p.Delete == nil {
+			// Same contract as Update: an existing delete entry point means
+			// the program is deletable, even when nothing live remains.
+			p.Delete = &ram.Sequence{}
+		}
+	}
 	compactRelations(p)
 }
 
@@ -99,6 +107,21 @@ func elimStmt(s ram.Statement, f *analysis.Facts) ram.Statement {
 		return s
 	case *ram.Merge:
 		if s.Dst != nil && !f.Live(s.Dst) {
+			return nil
+		}
+		return s
+	case *ram.Subtract:
+		if s.Dst != nil && !f.Live(s.Dst) {
+			return nil
+		}
+		return s
+	case *ram.CountMerge:
+		if s.Dst != nil && s.Fresh != nil && !f.Live(s.Dst) && !f.Live(s.Fresh) {
+			return nil
+		}
+		return s
+	case *ram.CountDelete:
+		if s.Dst != nil && s.Gone != nil && !f.Live(s.Dst) && !f.Live(s.Gone) {
 			return nil
 		}
 		return s
@@ -181,6 +204,9 @@ func compactRelations(p *ram.Program) {
 	markStmtRels(p.Main, mark)
 	if p.Update != nil {
 		markStmtRels(p.Update, mark)
+	}
+	if p.Delete != nil {
+		markStmtRels(p.Delete, mark)
 	}
 	// Close over bases so kept aux relations keep their shadowed source.
 	for _, r := range p.Relations {
@@ -281,6 +307,17 @@ func markStmtRels(s ram.Statement, mark func(*ram.Relation)) {
 		case *ram.Merge:
 			mark(s.Dst)
 			mark(s.Src)
+		case *ram.Subtract:
+			mark(s.Dst)
+			mark(s.Src)
+		case *ram.CountMerge:
+			mark(s.Dst)
+			mark(s.Src)
+			mark(s.Fresh)
+		case *ram.CountDelete:
+			mark(s.Dst)
+			mark(s.Src)
+			mark(s.Gone)
 		case *ram.IO:
 			mark(s.Rel)
 		case *ram.LogTimer:

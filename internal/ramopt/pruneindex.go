@@ -32,6 +32,7 @@ func pruneIndexes(p *ram.Program) {
 	}
 	forEachSearch(p.Main, use)
 	forEachSearch(p.Update, use)
+	forEachSearch(p.Delete, use)
 
 	// Union-find over swap statements groups relations whose order lists
 	// must stay identical.
@@ -51,6 +52,7 @@ func pruneIndexes(p *ram.Program) {
 	}
 	collectSwaps(p.Main, union)
 	collectSwaps(p.Update, union)
+	collectSwaps(p.Delete, union)
 
 	groups := map[*ram.Relation][]*ram.Relation{}
 	for _, r := range p.Relations {
@@ -120,6 +122,7 @@ func pruneIndexes(p *ram.Program) {
 	}
 	rewriteSearchIDs(p.Main, renumber)
 	rewriteSearchIDs(p.Update, renumber)
+	rewriteSearchIDs(p.Delete, renumber)
 }
 
 // forEachSearch visits every index-selecting site under s.

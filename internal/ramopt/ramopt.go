@@ -125,7 +125,7 @@ func OptimizeStats(p *ram.Program, st *symtab.Table, opts Options) Stats {
 }
 
 // countStmts counts executable statements (everything except the Sequence
-// and LogTimer wrappers) across Main and Update.
+// and LogTimer wrappers) across Main, Update, and Delete.
 func countStmts(p *ram.Program) int {
 	n := 0
 	var walk func(ram.Statement)
@@ -147,6 +147,7 @@ func countStmts(p *ram.Program) int {
 	}
 	walk(p.Main)
 	walk(p.Update)
+	walk(p.Delete)
 	return n
 }
 
@@ -277,6 +278,11 @@ func (o *optimizer) choiceBody(tid int, nested ram.Operation) (ram.Condition, ra
 	// structure and their iteration counts depend on every witness.
 	proj, ok := cur.(*ram.Project)
 	if !ok {
+		return nil, nil, false
+	}
+	// Counting targets record one support unit per witness, so collapsing
+	// the scan to its first match would corrupt the counts.
+	if proj.Rel != nil && proj.Rel.Counting {
 		return nil, nil, false
 	}
 	if opReadsTuple(proj, tid) {

@@ -1,0 +1,47 @@
+package relation
+
+import (
+	"sti/internal/tuple"
+)
+
+// Delete implementations of the five adapters. They live in one file because
+// deletion is a single concern threaded through the whole de-specialization
+// seam: every adapter encodes the source-order tuple exactly as its Insert
+// does and asks the underlying structure to remove it.
+
+func (a *btreeAdapter[K]) Delete(t tuple.Tuple) bool {
+	removed := a.tree.Remove(a.encode(t))
+	if a.ops != nil && removed {
+		a.ops.Deletes.Add(1)
+	}
+	return removed
+}
+
+func (a *brieAdapter) Delete(t tuple.Tuple) bool {
+	removed := a.trie.Remove(a.encode(t))
+	if a.ops != nil && removed {
+		a.ops.Deletes.Add(1)
+	}
+	return removed
+}
+
+func (a *legacyAdapter) Delete(t tuple.Tuple) bool {
+	removed := a.tree.Remove(t)
+	if a.ops != nil && removed {
+		a.ops.Deletes.Add(1)
+	}
+	return removed
+}
+
+func (a *nullaryAdapter) Delete(t tuple.Tuple) bool {
+	was := a.set
+	a.set = false
+	if a.ops != nil && was {
+		a.ops.Deletes.Add(1)
+	}
+	return was
+}
+
+func (a *eqrelAdapter) Delete(t tuple.Tuple) bool {
+	panic("relation: eqrel does not support deletion")
+}

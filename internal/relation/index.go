@@ -96,6 +96,13 @@ type Index interface {
 	// added. It is the merge entry point of the staging-buffer path: one
 	// dynamic dispatch covers the whole batch instead of one per tuple.
 	InsertAll(flat []value.Value, count int) int
+	// Delete removes a tuple given in source order, reporting whether it was
+	// present. It is the retraction entry point of delete propagation and
+	// runs only between scans (under the engine's write section), so
+	// implementations may restructure freely; iterators obtained before a
+	// Delete are invalidated. EqRel indexes cannot delete (the union-find
+	// has no per-pair removal) and panic; translation gates them out.
+	Delete(t tuple.Tuple) bool
 	// Contains tests membership of a tuple given in source order.
 	Contains(t tuple.Tuple) bool
 	// ContainsEncoded tests membership of a tuple given in encoded order.

@@ -18,6 +18,9 @@ type Relation struct {
 	rep     Rep
 	indexes []Index
 	stats   *metrics.RelationStats
+	// counts is the support-count sidecar for counting-based deletion
+	// (counts.go); nil for ordinary set-semantics relations.
+	counts map[countKey]int32
 }
 
 // New creates a relation with one index per given order. Orders must all
@@ -101,6 +104,9 @@ func (r *Relation) Insert(t tuple.Tuple) bool {
 	for _, idx := range r.indexes[1:] {
 		idx.Insert(t)
 	}
+	if r.counts != nil {
+		r.counts[r.key(t)]++
+	}
 	if r.stats != nil {
 		r.stats.CountInsert(added)
 	}
@@ -116,10 +122,13 @@ func (r *Relation) Size() int { return r.indexes[0].Size() }
 // Empty reports whether the relation holds no tuples.
 func (r *Relation) Empty() bool { return r.Size() == 0 }
 
-// Clear removes all tuples from all indexes.
+// Clear removes all tuples from all indexes, and all support counts.
 func (r *Relation) Clear() {
 	for _, idx := range r.indexes {
 		idx.Clear()
+	}
+	if r.counts != nil {
+		clear(r.counts)
 	}
 }
 
@@ -132,6 +141,7 @@ func (r *Relation) SwapContents(o *Relation) {
 	for i := range r.indexes {
 		r.indexes[i].SwapContents(o.indexes[i])
 	}
+	r.counts, o.counts = o.counts, r.counts
 }
 
 // Scan enumerates the primary index in source order (decoding if the primary
