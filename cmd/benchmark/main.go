@@ -9,6 +9,7 @@
 //	benchmark -fig reorder     static tuple reordering ablation (§5.5)
 //	benchmark -fig dispatch    lean dispatch ablation (§5.5)
 //	benchmark -fig scaling     worker-scaling sweep (wall time, tuples/s)
+//	benchmark -fig shard       shard-scaling sweep vs unsharded baseline
 //	benchmark -fig resident    resident incremental Apply vs re-running
 //	benchmark -fig delete      incremental deletion vs recompute fallback
 //	benchmark -table 1         first-run compile+execute ratios (Table 1)
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | resident | delete")
+	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | shard | resident | delete")
 	table := flag.String("table", "", "table to reproduce: 1")
 	all := flag.Bool("all", false, "run every experiment")
 	scaleFlag := flag.String("scale", "small", "workload scale: small | medium | large")
@@ -108,6 +109,12 @@ func main() {
 		run("scaling", func() ([]bench.BenchRecord, error) {
 			rows, err := bench.Scaling(scale, *repeats, w)
 			return bench.ScalingRecords(rows), err
+		})
+	}
+	if *all || *fig == "shard" {
+		run("shard", func() ([]bench.BenchRecord, error) {
+			rows, err := bench.Shard(scale, *repeats, w)
+			return bench.ShardRecords(rows), err
 		})
 	}
 	if *all || *fig == "resident" {

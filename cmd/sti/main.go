@@ -151,6 +151,7 @@ func cmdRun(args []string) {
 	noReorder := fs.Bool("no-reorder", false, "disable static tuple reordering")
 	timing := fs.Bool("time", false, "print wall-clock time")
 	jobs := fs.Int("j", 1, "parallel workers for rule evaluation")
+	shards := fs.Int("shards", 0, "hash-partition relations into N shards (shard-parallel fixpoint; interp backend)")
 	optimize := fs.Bool("O", false, "run RAM optimization passes (fold constants, fuse filters, choices)")
 	explain := fs.String("explain", "", "after the run, print the derivation of a tuple, e.g. 'path(1,3)'")
 	debug := debugFlag(fs)
@@ -178,6 +179,7 @@ func cmdRun(args []string) {
 		cfg.StaticReordering = cfg.StaticReordering && !*noReorder
 		cfg.Profile = *profile
 		cfg.Workers = *jobs
+		cfg.Shards = *shards
 		cfg.Provenance = *explain != ""
 		eng := interp.New(prog, st, cfg)
 		if err := eng.Run(io); err != nil {

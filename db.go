@@ -43,6 +43,13 @@ type Database struct {
 	incremental    uint64
 	recomputes     uint64
 	fallbackReason string // why the most recent apply fell back
+
+	// shards is the shard count the database was opened with (0 when
+	// unsharded). A sharded database always absorbs batches through the
+	// recompute path: the update/delete entry points are generated for
+	// serial unsharded execution, while recomputation reuses the
+	// shard-parallel main program.
+	shards int
 }
 
 // Open evaluates the program to its initial fixpoint (program facts only;
@@ -66,6 +73,9 @@ func (p *Program) Open(opts ...Option) (*Database, error) {
 	if o.workers > 0 {
 		cfg.Workers = o.workers
 	}
+	if o.shards > 0 {
+		cfg.Shards = o.shards
+	}
 	eng := interp.New(p.ram, p.st, cfg)
 	if err := eng.Load(interp.NewMemIO()); err != nil {
 		return nil, err
@@ -73,7 +83,7 @@ func (p *Program) Open(opts ...Option) (*Database, error) {
 	if err := eng.Eval(); err != nil {
 		return nil, err
 	}
-	return &Database{prog: p, eng: eng, facts: map[string][]tuple.Tuple{}}, nil
+	return &Database{prog: p, eng: eng, shards: cfg.Shards, facts: map[string][]tuple.Tuple{}}, nil
 }
 
 // Incremental reports whether the program supports incremental insert-only
@@ -281,6 +291,13 @@ func (db *Database) Apply(b *Batch) error {
 		db.facts[f.rel] = kept
 	}
 	db.applies++
+	if db.shards > 0 {
+		// The update/delete entry points are generated for serial
+		// unsharded evaluation; a sharded database keeps its speed on the
+		// recompute path instead, which reuses the shard-parallel main
+		// program. Stats records the trade.
+		return db.fallback(fallbackSharded)
+	}
 	if len(b.dels) == 0 {
 		if db.eng.Incremental() {
 			return db.applyIncremental(b)
@@ -302,6 +319,10 @@ func (db *Database) Apply(b *Batch) error {
 	}
 	return db.applyDelta(b)
 }
+
+// fallbackSharded is the FallbackReason recorded by every Apply on a
+// sharded database.
+const fallbackSharded = "sharded database: incremental entry points run unsharded, batches recompute with the shard-parallel main program"
 
 // fallback runs a full recomputation and records why the incremental path
 // was lost.
@@ -614,15 +635,19 @@ func (db *Database) Size(name string) (int, error) {
 // path and recomputed from scratch, with FallbackReason explaining the most
 // recent loss.
 type DBStats struct {
-	Epoch              uint64         `json:"epoch"`
-	Applies            uint64         `json:"applies"`
-	AppliesIncremental uint64         `json:"incremental_applies"`
-	AppliesFallback    uint64         `json:"applies_fallback"`
-	FallbackReason     string         `json:"fallback_reason,omitempty"`
-	Recomputes         uint64         `json:"recomputes"`
-	Incremental        bool           `json:"incremental"`
-	Deletable          bool           `json:"deletable"`
-	Relations          map[string]int `json:"relations"`
+	Epoch              uint64 `json:"epoch"`
+	Applies            uint64 `json:"applies"`
+	AppliesIncremental uint64 `json:"incremental_applies"`
+	AppliesFallback    uint64 `json:"applies_fallback"`
+	FallbackReason     string `json:"fallback_reason,omitempty"`
+	Recomputes         uint64 `json:"recomputes"`
+	Incremental        bool   `json:"incremental"`
+	Deletable          bool   `json:"deletable"`
+	// Shards is the shard count the database was opened with (0 when
+	// unsharded). Sharded databases record a fallback reason on their
+	// first Apply: batches recompute with the shard-parallel main program.
+	Shards    int            `json:"shards,omitempty"`
+	Relations map[string]int `json:"relations"`
 }
 
 // Stats reports apply counters and per-relation sizes under a snapshot.
@@ -638,6 +663,7 @@ func (db *Database) Stats() DBStats {
 		Recomputes:         db.recomputes,
 		Incremental:        db.eng.Incremental(),
 		Deletable:          db.eng.Deletable(),
+		Shards:             db.shards,
 		Relations:          map[string]int{},
 	}
 	for _, rd := range db.prog.ram.Relations {

@@ -1,0 +1,114 @@
+package sti
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShardedRun: a one-shot Run with WithShards matches the unsharded run
+// byte for byte.
+func TestShardedRun(t *testing.T) {
+	p := tcProgram(t, "btree")
+	edges := [][2]int{}
+	for i := 0; i < 30; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+		edges = append(edges, [2]int{i, (i * 7) % 30})
+	}
+	want := runUnion(t, p, edges)
+
+	in := p.NewInput()
+	for _, e := range edges {
+		in.Add("edge", e[0], e[1])
+	}
+	res, err := p.Run(in, WithShards(4))
+	if err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	got := res.Rows("path")
+	if len(got) != len(want) {
+		t.Fatalf("sharded run: %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d differs: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedDatabaseFallsBack: a database opened with WithShards answers
+// queries correctly, but every Apply takes the recompute path with the
+// sharded fallback reason recorded in Stats — the incremental entry points
+// are generated for unsharded execution.
+func TestShardedDatabaseFallsBack(t *testing.T) {
+	p := tcProgram(t, "btree")
+	db, err := p.Open(WithShards(4))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+
+	if st := db.Stats(); st.Shards != 4 {
+		t.Fatalf("Stats().Shards = %d, want 4", st.Shards)
+	}
+
+	edges := [][2]int{}
+	for i := 0; i < 20; i++ {
+		edges = append(edges, [2]int{i, i + 1})
+	}
+	b := db.NewBatch()
+	for _, e := range edges {
+		b.Add("edge", e[0], e[1])
+	}
+	if err := db.Apply(b); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	checkEquivalent(t, db, p, edges, "sharded apply")
+
+	st := db.Stats()
+	if st.AppliesIncremental != 0 {
+		t.Fatalf("sharded database took the incremental path (%d)", st.AppliesIncremental)
+	}
+	if st.AppliesFallback != 1 || st.Recomputes != 1 {
+		t.Fatalf("fallback=%d recomputes=%d, want 1/1", st.AppliesFallback, st.Recomputes)
+	}
+	if !strings.Contains(st.FallbackReason, "sharded") {
+		t.Fatalf("FallbackReason = %q, want the sharded reason", st.FallbackReason)
+	}
+
+	// Deletions recompute too, staying correct.
+	b2 := db.NewBatch()
+	b2.Add("edge", 50, 51)
+	b2.Delete("edge", 0, 1)
+	if err := db.Apply(b2); err != nil {
+		t.Fatalf("apply 2: %v", err)
+	}
+	edges = append(edges[1:], [2]int{50, 51})
+	checkEquivalent(t, db, p, edges, "sharded delete")
+	if st := db.Stats(); st.Recomputes != 2 {
+		t.Fatalf("recomputes = %d, want 2", st.Recomputes)
+	}
+}
+
+// TestUnshardedDatabaseStaysIncremental guards the other side: without
+// WithShards the incremental path is untouched by the sharding machinery.
+func TestUnshardedDatabaseStaysIncremental(t *testing.T) {
+	p := tcProgram(t, "btree")
+	db, err := p.Open()
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer db.Close()
+	b := db.NewBatch().Add("edge", 1, 2).Add("edge", 2, 3)
+	if err := db.Apply(b); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	st := db.Stats()
+	if st.Shards != 0 {
+		t.Fatalf("Shards = %d, want 0", st.Shards)
+	}
+	if st.AppliesIncremental != 1 {
+		t.Fatalf("incremental applies = %d, want 1", st.AppliesIncremental)
+	}
+}

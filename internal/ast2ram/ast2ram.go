@@ -276,6 +276,7 @@ func (t *translator) run() error {
 	t.out.NumRules = t.ruleID
 
 	t.selectIndexes()
+	analysis.StampShardKeys(t.out)
 	return nil
 }
 

@@ -213,6 +213,7 @@ func (e *emitter) scan(r *ram.Relation, indexID int, pattern []ram.Expr, tid int
 		e.pf("if !ok {")
 		e.pf("\tbreak")
 		e.pf("}")
+		e.pf("_ = %s", tv)
 		e.bindAndNest(tid, tv, order, nested, choice, choiceCond)
 		e.depth--
 		e.pf("}")
@@ -227,6 +228,7 @@ func (e *emitter) sliceLoop(it, tv string, tid int, order tuple.Order, nested ra
 	e.pf("if !ok {")
 	e.pf("\tbreak")
 	e.pf("}")
+	e.pf("_ = %s", tv)
 	e.bindAndNest(tid, tv, order, nested, choice, choiceCond)
 	e.depth--
 	e.pf("}")

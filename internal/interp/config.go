@@ -66,6 +66,20 @@ type Config struct {
 	// evaluations (paper §3: thread-local context copies per worker).
 	// Values below 2 mean serial execution.
 	Workers int
+	// Shards hash-partitions every shardable relation into this many
+	// partitions on its shard-plan column (ram.Relation.ShardKey, derived by
+	// analysis.ShardKeys), so parallel scans split along shard boundaries
+	// and scan-barrier merges route staged tuples to their owning shard —
+	// shard-parallel semi-naive evaluation with delta exchange at the
+	// barriers. 0 disables sharding; 1 builds the degenerate single-shard
+	// wrappers (useful to test the routing path); values above 1 raise
+	// Workers to match so worker i evaluates shard i. Sharded relations
+	// keep static dispatch through the sharded specialized opcodes
+	// (specialized_shard.go), which bind one concrete tree per shard and
+	// route by partition hash; only the instructions without a sharded
+	// form (choice, aggregates) drop to the dynamic adapter. Sharding is
+	// disabled under Legacy and Provenance.
+	Shards int
 	// Metrics attaches a telemetry collector: per-relation and per-index
 	// counters, fixpoint convergence curves, parallel-scan statistics, and
 	// (when the collector has tracing enabled) span events. nil disables all
@@ -106,6 +120,15 @@ func (c Config) normalize() Config {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
+	if c.Shards < 0 {
+		c.Shards = 0
+	}
+	if c.Legacy {
+		c.Shards = 0
+	}
+	if c.Workers < c.Shards {
+		c.Workers = c.Shards
+	}
 	if c.Workers > 1 {
 		// Fused filter closures keep per-closure scratch state and are not
 		// safe to share across workers.
@@ -116,6 +139,7 @@ func (c Config) normalize() Config {
 		c.StaticReordering = false
 		c.FusedFilters = false
 		c.Workers = 1
+		c.Shards = 0
 	}
 	return c
 }

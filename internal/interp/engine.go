@@ -176,11 +176,29 @@ func buildRelation(rd *ram.Relation, cfg Config) *relation.Relation {
 	if len(orders) == 0 {
 		orders = []tuple.Order{tuple.Identity(rd.Arity)}
 	}
+	if shardable(rd, cfg) {
+		rel := relation.NewSharded(rd.Name, rep, rd.Arity, orders, cfg.Shards, rd.ShardCol())
+		if rd.Counting {
+			rel.EnableCounting()
+		}
+		return rel
+	}
 	rel := relation.New(rd.Name, rep, rd.Arity, orders)
 	if rd.Counting {
 		rel.EnableCounting()
 	}
 	return rel
+}
+
+// shardable reports whether the declaration gets hash-partitioned indexes
+// under the configuration: sharding must be on, the translator must have
+// stamped a shard plan (nullary and eqrel relations never carry one), and
+// the store must be an in-memory set adapter — the legacy comparator store
+// keeps its own layout, and counting sidecars are maintained at the
+// relation level either way.
+func shardable(rd *ram.Relation, cfg Config) bool {
+	return cfg.Shards >= 1 && !cfg.Legacy &&
+		rd.ShardKey > 0 && rd.Arity > 0 && rd.Rep != ram.RepEqRel
 }
 
 // RuntimeError reports an evaluation failure (division by zero, bad

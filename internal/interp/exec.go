@@ -368,6 +368,9 @@ func (ex *executor) execute(n *inode, ctx *context) value.Value {
 	if v, handled := ex.execSpecialized(n, ctx); handled {
 		return v
 	}
+	if v, handled := ex.execSharded(n, ctx); handled {
+		return v
+	}
 	panic(fmt.Sprintf("interp: unknown opcode %d", n.op))
 }
 
@@ -499,11 +502,45 @@ func (ex *executor) runPartition(n *inode, ctx *context, it relation.Iterator) {
 // mergeWorkers folds the workers' staging buffers and profiling counters
 // into the coordinating context at the scan barrier. All buffers targeting
 // one relation merge in a single InsertAll call, which de-duplicates against
-// the destination's primary index and across workers.
+// the destination's primary index and across workers. Buffers targeting a
+// *sharded* relation instead take the routed merge (InsertAllSharded): the
+// barrier is where cross-shard delta tuples — produced by worker w but owned
+// by another shard's partition — are exchanged into their owners before the
+// next iteration scans them.
 func (ex *executor) mergeWorkers(ctx *context, wctxs []*context) {
 	if ctx.stage != nil {
 		var bufs []*relation.StagingBuffer
 		for rid := range ctx.stage {
+			rel := ex.eng.rels[rid]
+			if rel.Sharded() {
+				// Keep worker alignment (nil gaps included) so the exchange
+				// counter can compare each tuple's owning shard against its
+				// producing worker's; the coordinator's own buffer rides
+				// along in the last slot.
+				wbufs := make([]*relation.StagingBuffer, 0, len(wctxs)+1)
+				any := false
+				for _, w := range wctxs {
+					b := w.stage[rid]
+					wbufs = append(wbufs, b)
+					any = any || (b != nil && b.Len() > 0)
+				}
+				if b := ctx.stage[rid]; b != nil && b.Len() > 0 {
+					wbufs = append(wbufs, b)
+					any = true
+				}
+				if !any {
+					continue
+				}
+				added, routed, exchanged := rel.InsertAllSharded(wbufs)
+				ctx.stats.inserts += uint64(added)
+				if ex.tel != nil {
+					ex.tel.RecordShardMerge(routed, exchanged)
+				}
+				if b := ctx.stage[rid]; b != nil {
+					b.Reset()
+				}
+				continue
+			}
 			bufs = bufs[:0]
 			if b := ctx.stage[rid]; b != nil && b.Len() > 0 {
 				bufs = append(bufs, b)
@@ -516,7 +553,7 @@ func (ex *executor) mergeWorkers(ctx *context, wctxs []*context) {
 			if len(bufs) == 0 {
 				continue
 			}
-			added := ex.eng.rels[rid].InsertAll(bufs...)
+			added := rel.InsertAll(bufs...)
 			ctx.stats.inserts += uint64(added)
 			if b := ctx.stage[rid]; b != nil {
 				b.Reset()

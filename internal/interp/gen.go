@@ -109,6 +109,17 @@ func (g *generator) scanOpcode(generic opcode, rel *relation.Relation) opcode {
 	if !g.cfg.StaticDispatch {
 		return generic
 	}
+	if rel.Sharded() {
+		// Sharded relations have no single concrete tree, but they have one
+		// per shard: the sharded specialized forms bind the per-shard slice
+		// and route by partition hash (specialized_shard.go). Instructions
+		// without a sharded form (choice, aggregates) stay on the dynamic
+		// adapter, whose merge preserves sorted enumeration order.
+		if sp, ok := shardedOp(generic, rel.Rep(), rel.Arity()); ok {
+			return sp
+		}
+		return generic
+	}
 	switch rel.Rep() {
 	case relation.BTree:
 		if sp, ok := specializedOp(generic, rel.Arity()); ok {
@@ -140,6 +151,18 @@ func (g *generator) scanOpcode(generic opcode, rel *relation.Relation) opcode {
 	return generic
 }
 
+// bindScanImpls binds the concrete store(s) of a scan-like node: the single
+// impl for unsharded indexes, or the per-shard impl slice plus the encoded
+// partition-key position (inode.b) for sharded ones.
+func (g *generator) bindScanImpls(n *inode, idx relation.Index) {
+	if subs, keyEnc := relation.ShardImpls(idx); subs != nil {
+		n.impls = subs
+		n.b = int32(keyEnc)
+		return
+	}
+	n.impls = []any{relation.Impl(idx)}
+}
+
 func (g *generator) genOperation(o ram.Operation) *inode {
 	switch o := o.(type) {
 	case *ram.Scan:
@@ -167,7 +190,7 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 			tupleID: int32(o.TupleID),
 			shadow:  o,
 		}
-		n.impls = []any{relation.Impl(idx)}
+		g.bindScanImpls(n, idx)
 		g.widths[n.tupleID] = n.arity
 		g.prems[n.tupleID] = int32(o.Rel.BaseID)
 		g.bindCoords(n.tupleID, idx.Order(), n)
@@ -198,7 +221,7 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 			tupleID: int32(o.TupleID),
 			shadow:  o,
 		}
-		n.impls = []any{relation.Impl(idx)}
+		g.bindScanImpls(n, idx)
 		n.children, n.prefix = g.genPattern(o.Pattern, idx.Order())
 		g.applySuper(n)
 		g.widths[n.tupleID] = n.arity
@@ -212,7 +235,7 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 		rel := g.relation(o.Rel)
 		idx := rel.Primary()
 		op := opChoice
-		if g.cfg.StaticDispatch && rel.Rep() == relation.BTree {
+		if g.cfg.StaticDispatch && !rel.Sharded() && rel.Rep() == relation.BTree {
 			if sp, ok := specializedOp(opChoice, rel.Arity()); ok {
 				op = sp
 			}
@@ -236,7 +259,7 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 		rel := g.relation(o.Rel)
 		idx := rel.Index(o.IndexID)
 		op := opIndexChoice
-		if g.cfg.StaticDispatch && rel.Rep() == relation.BTree {
+		if g.cfg.StaticDispatch && !rel.Sharded() && rel.Rep() == relation.BTree {
 			if sp, ok := specializedOp(opIndexChoice, rel.Arity()); ok {
 				op = sp
 			}
@@ -300,7 +323,15 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 			shadow: o,
 		}
 		for i := 0; i < rel.NumIndexes(); i++ {
-			n.impls = append(n.impls, relation.Impl(rel.Index(i)))
+			if subs, _ := relation.ShardImpls(rel.Index(i)); subs != nil {
+				// Sharded insert: impls is index-major (index i's shard s at
+				// i*shards+s), with the source key column in n.b so the
+				// instruction routes each tuple with one hash.
+				n.impls = append(n.impls, subs...)
+				n.b = int32(rel.ShardKeyCol())
+			} else {
+				n.impls = append(n.impls, relation.Impl(rel.Index(i)))
+			}
 			n.orders = append(n.orders, rel.Index(i).Order())
 		}
 		for _, e := range o.Exprs {
@@ -323,7 +354,7 @@ func (g *generator) genOperation(o ram.Operation) *inode {
 			generic = opIndexAggregate
 		}
 		op := generic
-		if g.cfg.StaticDispatch && rel.Rep() == relation.BTree {
+		if g.cfg.StaticDispatch && !rel.Sharded() && rel.Rep() == relation.BTree {
 			if sp, ok := specializedOp(generic, rel.Arity()); ok {
 				op = sp
 			}
@@ -466,7 +497,7 @@ func (g *generator) genCond(c ram.Condition) *inode {
 			order: idx.Order(), arity: int32(rel.Arity()),
 			baseID: int32(c.Rel.BaseID), shadow: c,
 		}
-		n.impls = []any{relation.Impl(idx)}
+		g.bindScanImpls(n, idx)
 		n.children, n.prefix = g.genPattern(c.Pattern, idx.Order())
 		g.applySuper(n)
 		if g.negDepth == 0 && n.prefix == n.arity && n.arity > 0 {

@@ -47,7 +47,12 @@ func evalInsertBT[K btree.Key[K]](ex *executor, n *inode, ctx *context, toKey to
 
 // btRange prepares the concrete range iterator of a prefix search.
 func btRange[K btree.Key[K]](n *inode, pat []value.Value, toKey toKeyFn[K]) btree.Iter[K] {
-	tree := n.impls[0].(*btree.Tree[K])
+	return btRangeTree(n.impls[0].(*btree.Tree[K]), n, pat, toKey)
+}
+
+// btRangeTree is btRange against an explicit tree, shared with the sharded
+// instruction forms (which pick the tree by partition hash first).
+func btRangeTree[K btree.Key[K]](tree *btree.Tree[K], n *inode, pat []value.Value, toKey toKeyFn[K]) btree.Iter[K] {
 	if n.prefix == 0 {
 		return tree.Iter()
 	}

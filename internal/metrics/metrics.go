@@ -18,7 +18,9 @@
 //   - IndexOps: one per index — inserts, lookups, scans, range scans,
 //     existence probes, partition requests crossing the dynamic adapter.
 //   - ParallelStats: staging-buffer traffic of partitioned scans — tuples
-//     scanned and staged per worker, merge wall time, partition skew.
+//     scanned and staged per worker, merge wall time, partition skew, and
+//     for sharded evaluation the per-shard routed volume, routing skew,
+//     and cross-shard delta-exchange count.
 //   - Trace: span-style events (stratum → iteration → query → I/O) in
 //     Chrome trace-event form, loadable in Perfetto (see trace.go).
 package metrics
@@ -177,6 +179,21 @@ type ParallelStats struct {
 	MaxSkew float64 `json:"max_skew"`
 	// Workers holds the per-worker totals.
 	Workers []*WorkerStats `json:"workers,omitempty"`
+
+	// ShardMerges counts scan-barrier merges that routed staged tuples into
+	// a sharded relation (the delta-exchange step of shard-parallel
+	// evaluation).
+	ShardMerges uint64 `json:"shard_merges,omitempty"`
+	// ShardRouted[s] is the total number of staged tuples whose partition
+	// hash owned them to shard s — the shard skew signal.
+	ShardRouted []uint64 `json:"shard_routed,omitempty"`
+	// ShardExchanged counts staged tuples that crossed shards at a merge:
+	// produced by worker w but owned by a shard other than w's. This is the
+	// exchange volume a distributed implementation would put on the wire.
+	ShardExchanged uint64 `json:"shard_exchanged,omitempty"`
+	// ShardMaxSkew is the worst observed shard skew: max over merges of
+	// (most-loaded shard's routed tuples / mean routed tuples).
+	ShardMaxSkew float64 `json:"shard_max_skew,omitempty"`
 }
 
 // Collector gathers one run's telemetry. The zero value is not usable; call
@@ -281,6 +298,38 @@ func (c *Collector) RecordParallelScan(scanned, staged []uint64, merge time.Dura
 		mean := float64(total) / float64(len(scanned))
 		if skew := float64(max) / mean; skew > p.MaxSkew {
 			p.MaxSkew = skew
+		}
+	}
+}
+
+// RecordShardMerge folds one sharded scan-barrier merge into the aggregate:
+// routed[s] is the number of staged tuples owned by shard s at this merge,
+// exchanged the number that crossed shards (owner != producing worker's
+// shard).
+func (c *Collector) RecordShardMerge(routed []uint64, exchanged uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := &c.parallel
+	p.ShardMerges++
+	p.ShardExchanged += exchanged
+	var total, max uint64
+	for s, n := range routed {
+		if s >= len(p.ShardRouted) {
+			p.ShardRouted = append(p.ShardRouted, 0)
+		}
+		p.ShardRouted[s] += n
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total > 0 && len(routed) > 0 {
+		mean := float64(total) / float64(len(routed))
+		if skew := float64(max) / mean; skew > p.ShardMaxSkew {
+			p.ShardMaxSkew = skew
 		}
 	}
 }

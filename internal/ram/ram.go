@@ -55,7 +55,19 @@ type Relation struct {
 	// point can retract without rederivation. Only non-recursive IDB
 	// relations and their cbuf buffers are counting.
 	Counting bool
+	// ShardKey is the relation's partition column for shard-parallel
+	// evaluation, stored 1-based (column index + 1) so the zero value means
+	// "no shard plan". It is stamped by ast2ram from the join-key analysis
+	// (analysis.ShardKeys); aux relations carry the same key as their base
+	// so swaps and merges between a relation and its delta/new/recent
+	// companions move whole partitions. EqRel and nullary relations never
+	// carry a plan. Backends that do not shard ignore the field.
+	ShardKey int
 }
+
+// ShardCol returns the 0-based partition column of the relation's shard
+// plan, or -1 when the relation carries none.
+func (r *Relation) ShardCol() int { return r.ShardKey - 1 }
 
 // AuxKind names the role of an auxiliary relation in semi-naive evaluation.
 type AuxKind uint8

@@ -54,6 +54,17 @@ const (
 	RuleIntrinsicArgs  = "intrinsic-args"  // intrinsics receive the right argument count
 	RuleParallelFrozen = "parallel-frozen" // parallel queries never read their insert targets
 
+	// Shard-plan invariant: under shard-parallel evaluation a shard only
+	// writes its own partition outside the exchange step. The static side
+	// of that guarantee is plan alignment — a stamped shard key must be a
+	// real column, relations that cannot hash (nullary, eqrel) must carry
+	// no plan, aux relations must partition exactly like their base, and
+	// SWAP/MERGE/SUBTRACT operands must agree on the key — so every bulk
+	// statement moves whole partitions between aligned shards and only the
+	// routed barrier merge ever crosses them. The runtime side is
+	// relation.CheckShardLocal.
+	RuleShardLocal = "shard-local-writes"
+
 	// Update-program invariants (Program.Update, the delta-restart entry
 	// point of resident engines). Snapshot readers are only locked out
 	// while Update runs, so everything it touches must stay inside the
@@ -285,6 +296,37 @@ func (c *checker) relations() {
 		} else if r.BaseID != r.ID {
 			c.addf(r, RuleRelBase, "source relation %s has BaseID %d, want its own ID %d", r.Name, r.BaseID, r.ID)
 		}
+		c.shardPlan(r, base)
+	}
+}
+
+// shardPlan checks the shard-local-writes invariants of one declaration's
+// stamped plan (ShardKey == 0 means unstamped and is always legal).
+func (c *checker) shardPlan(r, base *ram.Relation) {
+	if r.ShardKey == 0 {
+		// An unstamped aux of a stamped base would split at SWAP barriers:
+		// one side sharded, the other not.
+		if r.Aux && base != nil && base.ShardKey != 0 && base.Rep != ram.RepEqRel {
+			c.addf(r, RuleShardLocal, "aux relation %s carries no shard plan but base %s partitions on column %d",
+				r.Name, base.Name, base.ShardCol())
+		}
+		return
+	}
+	if r.Arity == 0 {
+		c.addf(r, RuleShardLocal, "nullary relation %s carries shard key %d; nullary relations cannot hash-partition", r.Name, r.ShardKey)
+		return
+	}
+	if r.Rep == ram.RepEqRel {
+		c.addf(r, RuleShardLocal, "eqrel relation %s carries shard key %d; no hash partition is closed under its congruence", r.Name, r.ShardKey)
+		return
+	}
+	if r.ShardKey < 1 || r.ShardKey > r.Arity {
+		c.addf(r, RuleShardLocal, "relation %s shard key %d is outside columns 1..%d", r.Name, r.ShardKey, r.Arity)
+		return
+	}
+	if r.Aux && base != nil && base.Rep != ram.RepEqRel && base.ShardKey != r.ShardKey {
+		c.addf(r, RuleShardLocal, "aux relation %s partitions on column %d but base %s partitions on %d; swaps and merges would cross shards",
+			r.Name, r.ShardCol(), base.Name, base.ShardCol())
 	}
 }
 
@@ -366,6 +408,10 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 		if okA && okB && !sameShape(s.A, s.B) {
 			c.addf(s, RuleSwapShape, "SWAP (%s, %s) operands differ in arity, types, representation, or index orders", s.A.Name, s.B.Name)
 		}
+		if okA && okB && s.A.ShardKey != s.B.ShardKey {
+			c.addf(s, RuleShardLocal, "SWAP (%s, %s) operands partition on different shard keys (%d vs %d)",
+				s.A.Name, s.B.Name, s.A.ShardKey, s.B.ShardKey)
+		}
 		if c.inDelete && okA && okB {
 			c.deleteWrite(s, s.A, "SWAP")
 			c.deleteWrite(s, s.B, "SWAP")
@@ -376,6 +422,10 @@ func (c *checker) stmt(s ram.Statement, inLoop bool) {
 		if okD && okS {
 			if s.Dst.Arity != s.Src.Arity || !sameTypes(s.Dst, s.Src) {
 				c.addf(s, RuleMergeShape, "MERGE %s INTO %s with mismatched signatures (arity %d vs %d)", s.Src.Name, s.Dst.Name, s.Src.Arity, s.Dst.Arity)
+			}
+			if s.Dst.ShardKey != 0 && s.Src.ShardKey != 0 && s.Dst.ShardKey != s.Src.ShardKey {
+				c.addf(s, RuleShardLocal, "MERGE %s INTO %s across shard keys (%d vs %d)",
+					s.Src.Name, s.Dst.Name, s.Src.ShardKey, s.Dst.ShardKey)
 			}
 			if c.inUpdate && s.Dst.Stratum < s.Src.Stratum {
 				c.addf(s, RuleUpdateStratum, "update MERGE %s INTO %s writes stratum %d from stratum %d", s.Src.Name, s.Dst.Name, s.Dst.Stratum, s.Src.Stratum)

@@ -1,3 +1,19 @@
+// Package relation is the de-specialization layer (paper §3): the single
+// Index interface the interpreter programs against, and the portfolio of
+// concrete stores behind it — per-arity specialized B-trees, bries,
+// union-find equivalence relations, a nullary flag, and the legacy
+// runtime-comparator tree. All lexicographic orders are reduced to the
+// natural order by re-encoding tuples on insert (tuple.Order), and all
+// element types are reduced to 32-bit words, so the concrete portfolio is
+// exactly {structure × arity}.
+//
+// On top of the flat portfolio, sharded.go provides shardedIndex: a
+// wrapper holding one concrete adapter per hash partition of a single key
+// column. Key-bound operations route to the owning shard; key-unbound
+// enumerations run an order-preserving k-way merge, so a sharded relation
+// is observationally identical to an unsharded one. Relations also carry
+// the support-count sidecar for counting-based incremental deletion
+// (counts.go) and per-relation telemetry hooks (internal/metrics).
 package relation
 
 import (
@@ -21,6 +37,10 @@ type Relation struct {
 	// counts is the support-count sidecar for counting-based deletion
 	// (counts.go); nil for ordinary set-semantics relations.
 	counts map[countKey]int32
+	// shards/shardKey describe the hash partitioning of a sharded relation
+	// (sharded.go); shards == 0 means unsharded.
+	shards   int
+	shardKey int
 }
 
 // New creates a relation with one index per given order. Orders must all

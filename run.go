@@ -40,6 +40,7 @@ type runOptions struct {
 	profile    bool
 	provenance bool
 	workers    int
+	shards     int
 }
 
 // WithBackend selects the execution engine (default Interpreter).
@@ -67,6 +68,17 @@ func WithProfiling() Option {
 // of each rule is partitioned across n workers with thread-local contexts.
 func WithWorkers(n int) Option {
 	return func(o *runOptions) { o.workers = n }
+}
+
+// WithShards hash-partitions every shardable relation into n shards on its
+// analysis-derived join-key column, so the interpreter runs shard-parallel
+// semi-naive fixpoints with delta exchange at the scan barriers
+// (interpreter backend only). Workers is raised to at least n so worker i
+// evaluates shard i. For a resident Database, sharding accelerates Open's
+// initial evaluation; Apply always recomputes (the incremental entry points
+// run unsharded), recorded in Stats().FallbackReason.
+func WithShards(n int) Option {
+	return func(o *runOptions) { o.shards = n }
 }
 
 // Result holds the relations of a completed run.
@@ -118,6 +130,9 @@ func (p *Program) Run(in *Input, opts ...Option) (*Result, error) {
 		if o.workers > 0 {
 			cfg.Workers = o.workers
 		}
+		if o.shards > 0 {
+			cfg.Shards = o.shards
+		}
 		eng := interp.New(p.ram, p.st, cfg)
 		if err := eng.Run(io); err != nil {
 			return nil, err
@@ -157,6 +172,9 @@ func (p *Program) RunDir(inDir, outDir string, opts ...Option) error {
 	cfg.Profile = cfg.Profile || o.profile
 	if o.workers > 0 {
 		cfg.Workers = o.workers
+	}
+	if o.shards > 0 {
+		cfg.Shards = o.shards
 	}
 	return interp.New(p.ram, p.st, cfg).Run(io)
 }

@@ -25,6 +25,13 @@
 //	in.Add("edge", 2, 3)
 //	res, err := prog.Run(in)
 //	fmt.Println(res.Size("path")) // 3
+//
+// Beyond one-shot Run, Program.Open keeps the materialized relations
+// resident: Apply absorbs fact batches (incrementally when the program
+// allows; see Database), readers take epoch-pinned snapshots, and
+// WithWorkers / WithShards select parallel and shard-parallel fixpoint
+// evaluation. docs/ARCHITECTURE.md walks the whole pipeline;
+// docs/OPERATIONS.md covers the resident engine's CLI surface.
 package sti
 
 import (
