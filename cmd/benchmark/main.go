@@ -12,6 +12,8 @@
 //	benchmark -fig shard       shard-scaling sweep vs unsharded baseline
 //	benchmark -fig resident    resident incremental Apply vs re-running
 //	benchmark -fig delete      incremental deletion vs recompute fallback
+//	benchmark -fig obsv        observability layer overhead (plain vs
+//	                           WithObservability on the same request stream)
 //	benchmark -table 1         first-run compile+execute ratios (Table 1)
 //	benchmark -all             everything
 //
@@ -30,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | shard | resident | delete")
+	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | shard | resident | delete | obsv")
 	table := flag.String("table", "", "table to reproduce: 1")
 	all := flag.Bool("all", false, "run every experiment")
 	scaleFlag := flag.String("scale", "small", "workload scale: small | medium | large")
@@ -127,6 +129,11 @@ func main() {
 		run("delete", func() ([]bench.BenchRecord, error) {
 			rows, err := bench.Delete(scale, *repeats, w)
 			return bench.DeleteRecords(rows), err
+		})
+	}
+	if *all || *fig == "obsv" {
+		run("obsv", func() ([]bench.BenchRecord, error) {
+			return runObsv(scale, *repeats, w)
 		})
 	}
 	if *all || *fig == "portfolio" {

@@ -13,7 +13,10 @@
 //	                                           unreachable rules, ...
 //	sti serve program.dl [-http addr]          keep the program resident:
 //	                                           apply fact batches and query
-//	                                           over stdin lines or HTTP
+//	                                           over stdin lines or HTTP, with
+//	                                           /metrics, /healthz, /readyz,
+//	                                           and structured request logs
+//	                                           (-log-format json, -slow 1s)
 //
 // Input relations read <name>.facts (tab-separated) from -F; output
 // relations write <name>.csv to -D; .printsize writes to stdout.

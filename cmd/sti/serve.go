@@ -7,9 +7,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"sti"
 )
@@ -26,17 +28,27 @@ import (
 //	quit                    exit
 //
 // With -http, the same operations are served over HTTP (POST /apply with
-// +/- lines as the body, GET /query?rel=NAME&p=..., GET /stats) and the
-// stats are published through expvar at /debug/vars.
+// +/- lines as the body, GET /query?rel=NAME&p=..., GET /stats) alongside
+// the operational endpoints: /metrics (Prometheus text exposition),
+// /healthz, /readyz, and /debug/vars (expvar, including the sti.db blob).
+//
+// The server logs structured records to stderr (-log-format json|text):
+// one access record per HTTP request carrying its request ID, and one
+// warning with the engine profile for every database request slower than
+// -slow. Stdout stays reserved for the line protocol.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	jobs := fs.Int("j", 1, "parallel workers for rule evaluation")
 	optimize := fs.Bool("O", false, "run RAM optimization passes (applies to initial evaluation only)")
-	httpAddr := fs.String("http", "", "also serve HTTP on this address (/apply, /query, /stats, /debug/vars)")
+	httpAddr := fs.String("http", "", "also serve HTTP on this address (/apply, /query, /stats, /metrics, /healthz, /readyz, /debug/vars)")
+	logFormat := fs.String("log-format", "text", "structured log encoding: text | json")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug | info | warn | error (debug includes per-request access records)")
+	slow := fs.Duration("slow", time.Second, "log requests slower than this with the engine profile (0 disables)")
 	debug := debugFlag(fs)
-	file := parseWithFile(fs, args, "usage: sti serve program.dl [-j N] [-O] [-http addr]")
+	file := parseWithFile(fs, args, "usage: sti serve program.dl [-j N] [-O] [-http addr] [-log-format text|json] [-log-level info] [-slow 1s]")
 	applyDebug(*debug)
 
+	logger := newLogger(*logFormat, *logLevel)
 	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal(err)
@@ -48,7 +60,10 @@ func cmdServe(args []string) {
 	if *optimize {
 		prog.Optimize()
 	}
-	db, err := prog.Open(sti.WithWorkers(*jobs))
+	db, err := prog.Open(
+		sti.WithWorkers(*jobs),
+		sti.WithObservability(sti.ObservabilityConfig{Logger: logger, SlowRequest: *slow}),
+	)
 	if err != nil {
 		fatal(err)
 	}
@@ -61,17 +76,45 @@ func cmdServe(args []string) {
 				fatal(err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "sti: serving HTTP on %s\n", *httpAddr)
+		logger.Info("serving http", "addr", *httpAddr, "program", file)
 	}
-	if err := serveLines(db, os.Stdin, os.Stdout); err != nil {
+	quit, err := serveLines(db, os.Stdin, os.Stdout)
+	if err != nil {
 		fatal(err)
+	}
+	// An explicit "quit" always ends the process. A closed stdin (the
+	// normal state for a daemonized HTTP deployment, where stdin is
+	// /dev/null) keeps the HTTP server running.
+	if *httpAddr != "" && !quit {
+		logger.Info("stdin closed, serving http only", "addr", *httpAddr)
+		select {}
+	}
+}
+
+// newLogger builds the server's structured logger on stderr; stdout belongs
+// to the line protocol.
+func newLogger(format, level string) *slog.Logger {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		fatal(fmt.Errorf("unknown -log-level %q (have: debug, info, warn, error)", level))
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts))
+	default:
+		fatal(fmt.Errorf("unknown -log-format %q (have: text, json)", format))
+		return nil
 	}
 }
 
 // serveLines drives the resident database from a line protocol. Errors in
 // individual commands are reported as "error: ..." lines and do not stop
-// the session; only I/O failures end it.
-func serveLines(db *sti.Database, r io.Reader, w io.Writer) error {
+// the session; only I/O failures end it. The returned bool reports whether
+// the session ended with an explicit quit/exit (as opposed to input EOF).
+func serveLines(db *sti.Database, r io.Reader, w io.Writer) (bool, error) {
 	out := bufio.NewWriter(w)
 	defer out.Flush()
 	sc := bufio.NewScanner(r)
@@ -147,72 +190,14 @@ func serveLines(db *sti.Database, r io.Reader, w io.Writer) error {
 				}
 				fmt.Fprintf(out, "%s\n", enc)
 			case "quit", "exit":
-				return out.Flush()
+				return true, out.Flush()
 			default:
 				fmt.Fprintf(out, "error: unknown command %q\n", words[0])
 			}
 		}
 		if err := out.Flush(); err != nil {
-			return err
+			return false, err
 		}
 	}
-	return sc.Err()
-}
-
-// serveMux exposes the database over HTTP.
-func serveMux(db *sti.Database) *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(db.Stats())
-	})
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		rel := r.URL.Query().Get("rel")
-		if rel == "" {
-			http.Error(w, "missing rel parameter", http.StatusBadRequest)
-			return
-		}
-		rows, err := db.QueryText(rel, r.URL.Query()["p"])
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(rows)
-	})
-	mux.HandleFunc("/apply", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		body, err := io.ReadAll(r.Body)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		batch := db.NewBatch()
-		for i, line := range strings.Split(string(body), "\n") {
-			if line == "" {
-				continue
-			}
-			fields := strings.Split(line, "\t")
-			switch {
-			case strings.HasPrefix(fields[0], "+"):
-				batch.At("body", i+1, len(fields[0])+2).AddText(fields[0][1:], fields[1:])
-			case strings.HasPrefix(fields[0], "-"):
-				batch.At("body", i+1, len(fields[0])+2).DeleteText(fields[0][1:], fields[1:])
-			default:
-				http.Error(w, fmt.Sprintf("bad line %q: want +rel or -rel", line), http.StatusBadRequest)
-				return
-			}
-		}
-		if err := db.Apply(batch); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]any{"epoch": db.Epoch(), "staged": batch.Len()})
-	})
-	return mux
+	return false, sc.Err()
 }

@@ -46,8 +46,12 @@ func TestServeLinesDeleteBatch(t *testing.T) {
 		"quit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := serveLines(db, strings.NewReader(in), &out); err != nil {
+	quit, err := serveLines(db, strings.NewReader(in), &out)
+	if err != nil {
 		t.Fatalf("serveLines: %v", err)
+	}
+	if !quit {
+		t.Fatal("session ended by quit, serveLines reported EOF")
 	}
 	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
 	want := []string{"applied epoch=1", "6", "applied epoch=2", "2"}
@@ -78,8 +82,12 @@ func TestServeLinesRowErrorPosition(t *testing.T) {
 		"quit",
 	}, "\n") + "\n"
 	var out strings.Builder
-	if err := serveLines(db, strings.NewReader(in), &out); err != nil {
+	quit, err := serveLines(db, strings.NewReader(in), &out)
+	if err != nil {
 		t.Fatalf("serveLines: %v", err)
+	}
+	if !quit {
+		t.Fatal("session ended by quit, serveLines reported EOF")
 	}
 	text := out.String()
 	for _, want := range []string{

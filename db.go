@@ -3,9 +3,11 @@ package sti
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"sti/internal/eio"
 	"sti/internal/interp"
+	"sti/internal/obsv"
 	"sti/internal/ram"
 	"sti/internal/relation"
 	"sti/internal/tuple"
@@ -43,6 +45,28 @@ type Database struct {
 	incremental    uint64
 	recomputes     uint64
 	fallbackReason string // why the most recent apply fell back
+	// fallbackCounts tallies recompute fallbacks by reason, feeding the
+	// sti_apply_fallbacks_total exposition series and DBStats.
+	fallbackCounts map[string]uint64
+
+	// obs is the request-scoped observability hub (nil unless opened
+	// WithObservability); traced caches whether the engine collects trace
+	// spans, so request-ID strings are only built when a span will carry them.
+	obs    *obsv.Observer
+	traced bool
+
+	// stClosed/stBroken/phaseV/epochV mirror closed/broken/engine-phase and
+	// the published epoch as atomics so health probes (Ready, Phase) and
+	// slow-read log records never block behind an in-flight Apply. The
+	// locked fields stay authoritative for request paths.
+	stClosed atomic.Bool
+	stBroken atomic.Bool
+	phaseV   atomic.Int32
+	epochV   atomic.Uint64
+
+	// readProf is the lock-free engine profile for slow read records
+	// (observe.go); allocated once so the read hot path stays allocation-free.
+	readProf *readProfile
 
 	// shards is the shard count the database was opened with (0 when
 	// unsharded). A sharded database always absorbs batches through the
@@ -83,7 +107,22 @@ func (p *Program) Open(opts ...Option) (*Database, error) {
 	if err := eng.Eval(); err != nil {
 		return nil, err
 	}
-	return &Database{prog: p, eng: eng, shards: cfg.Shards, facts: map[string][]tuple.Tuple{}}, nil
+	db := &Database{
+		prog:           p,
+		eng:            eng,
+		shards:         cfg.Shards,
+		facts:          map[string][]tuple.Tuple{},
+		fallbackCounts: map[string]uint64{},
+		obs:            o.obs,
+		traced:         eng.Telemetry().Tracing(),
+	}
+	db.phaseV.Store(int32(eng.Phase()))
+	db.epochV.Store(db.guard.Epoch())
+	db.readProf = &readProfile{db: db}
+	if db.obs != nil {
+		db.registerObsvMetrics()
+	}
+	return db, nil
 }
 
 // Incremental reports whether the program supports incremental insert-only
@@ -104,7 +143,16 @@ func (db *Database) Close() error {
 	db.guard.BeginWrite()
 	defer db.guard.EndWrite()
 	db.closed = true
+	db.stClosed.Store(true)
 	return nil
+}
+
+// fail marks the database broken — the engine hit a runtime error mid-apply
+// and may hold a partial fixpoint — and passes the original error through.
+func (db *Database) fail(err error) error {
+	db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
+	db.stBroken.Store(true)
+	return err
 }
 
 var errClosed = errors.New("sti: database is closed")
@@ -265,16 +313,41 @@ func (b *Batch) textErr(name string, col int, err error) error {
 // reason in Stats. Apply blocks until all outstanding snapshots are
 // released, and bumps the epoch.
 func (db *Database) Apply(b *Batch) error {
+	req := db.obs.Start(obsv.OpApply, "")
 	if b.err != nil {
+		req.Finish(obsv.OutError, nil)
 		return b.err
 	}
 	db.guard.BeginWrite()
 	defer db.guard.EndWrite()
+	if db.traced && req.Active() {
+		// Tag the engine so every span closed during this batch (update,
+		// delete, recompute fixpoints) joins the trace under this request.
+		// reqTag is only read from the writer goroutine, which we are.
+		db.eng.SetRequest(req.ID())
+		defer db.eng.SetRequest("")
+	}
+	out, err := db.applyLocked(b)
+	db.phaseV.Store(int32(db.eng.Phase()))
+	// The deferred EndWrite publishes guard.Epoch()+1 whether the batch
+	// succeeded or not; mirror it now so the slow-request record below and
+	// concurrent probes report the epoch this Apply produced.
+	db.epochV.Store(db.guard.Epoch() + 1)
+	// Finish while the writer lock is held: the slow-request profile
+	// (Database.SlowAttrs) reads lock-guarded counters.
+	req.Finish(out, db)
+	return err
+}
+
+// applyLocked is the body of Apply, run under the writer lock. It returns
+// the outcome classification for the request's latency series alongside the
+// user-visible error.
+func (db *Database) applyLocked(b *Batch) (obsv.Outcome, error) {
 	if db.closed {
-		return errClosed
+		return obsv.OutError, errClosed
 	}
 	if db.broken != nil {
-		return db.broken
+		return obsv.OutError, db.broken
 	}
 	// Record the batch into the accumulated fact set.
 	for _, f := range b.ins {
@@ -310,8 +383,7 @@ func (db *Database) Apply(b *Batch) error {
 	for _, f := range b.dels {
 		decl, err := db.prog.decl(f.rel)
 		if err != nil {
-			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
-			return err
+			return obsv.OutError, db.fail(err)
 		}
 		if !decl.Input {
 			return db.fallback(fmt.Sprintf("batch deletes tuples of %q, which is not an input relation", f.rel))
@@ -326,12 +398,19 @@ const fallbackSharded = "sharded database: incremental entry points run unsharde
 
 // fallback runs a full recomputation and records why the incremental path
 // was lost.
-func (db *Database) fallback(reason string) error {
+func (db *Database) fallback(reason string) (obsv.Outcome, error) {
 	if reason == "" {
 		reason = "program has no incremental entry point"
 	}
 	db.fallbackReason = reason
-	return db.recompute()
+	if db.fallbackCounts == nil {
+		db.fallbackCounts = map[string]uint64{}
+	}
+	db.fallbackCounts[reason]++
+	if err := db.recompute(); err != nil {
+		return obsv.OutError, err
+	}
+	return obsv.OutFallback, nil
 }
 
 // groupByRel splits batch facts per relation, preserving batch order both
@@ -347,12 +426,12 @@ func groupByRel(facts []batchFact) (order []string, grouped map[string][]tuple.T
 	return order, grouped
 }
 
-func (db *Database) applyIncremental(b *Batch) error {
+func (db *Database) applyIncremental(b *Batch) (obsv.Outcome, error) {
 	if err := db.insertAndUpdate(b.ins); err != nil {
-		return err
+		return obsv.OutError, err
 	}
 	db.incremental++
-	return nil
+	return obsv.OutIncremental, nil
 }
 
 // insertAndUpdate stages fresh tuples into the base relations and their
@@ -365,13 +444,11 @@ func (db *Database) insertAndUpdate(ins []batchFact) error {
 	order, staged := groupByRel(ins)
 	for _, name := range order {
 		if _, err := db.eng.InsertFacts(name, staged[name]); err != nil {
-			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
-			return err
+			return db.fail(err)
 		}
 	}
 	if err := db.eng.EvalUpdate(); err != nil {
-		db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
-		return err
+		return db.fail(err)
 	}
 	return nil
 }
@@ -381,17 +458,16 @@ func (db *Database) insertAndUpdate(ins []batchFact) error {
 // within a batch), then the staged retractions run through the delete
 // program, which computes exactly the derived tuples losing their last
 // support and removes them together with the retracted facts.
-func (db *Database) applyDelta(b *Batch) error {
+func (db *Database) applyDelta(b *Batch) (obsv.Outcome, error) {
 	if err := db.insertAndUpdate(b.ins); err != nil {
-		return err
+		return obsv.OutError, err
 	}
 	order, staged := groupByRel(b.dels)
 	total := 0
 	for _, name := range order {
 		n, err := db.eng.DeleteFacts(name, staged[name])
 		if err != nil {
-			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
-			return err
+			return obsv.OutError, db.fail(err)
 		}
 		total += n
 	}
@@ -399,12 +475,11 @@ func (db *Database) applyDelta(b *Batch) error {
 	// program only runs when at least one retraction took hold.
 	if total > 0 {
 		if err := db.eng.EvalDelete(); err != nil {
-			db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
-			return err
+			return obsv.OutError, db.fail(err)
 		}
 	}
 	db.incremental++
-	return nil
+	return obsv.OutIncrementalDelete, nil
 }
 
 // recompute rebuilds the fixpoint from scratch: clear everything, replay
@@ -418,14 +493,12 @@ func (db *Database) recompute() error {
 		}
 		if ts := db.facts[rd.Name]; len(ts) > 0 {
 			if _, err := db.eng.InsertFacts(rd.Name, ts); err != nil {
-				db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
-				return err
+				return db.fail(err)
 			}
 		}
 	}
 	if err := db.eng.Eval(); err != nil {
-		db.broken = fmt.Errorf("sti: apply failed, database state undefined: %w", err)
-		return err
+		return db.fail(err)
 	}
 	db.eng.ClearRecents()
 	db.recomputes++
@@ -446,6 +519,9 @@ func (db *Database) Snapshot() *Snapshot {
 type Snapshot struct {
 	db *Database
 	h  *relation.SnapshotHandle
+	// rid tags query/scan trace spans with a request ID. Set only by the
+	// instrumented one-shot wrappers, and only when the engine is tracing.
+	rid string
 }
 
 // Epoch reports the epoch this snapshot pinned.
@@ -498,7 +574,7 @@ func (s *Snapshot) Query(name string, pattern ...any) ([][]any, error) {
 			mask[i] = true
 		}
 	}
-	ts, err := s.db.eng.Query(name, probe, mask)
+	ts, err := s.db.eng.QueryReq(s.rid, name, probe, mask)
 	if err != nil {
 		return nil, err
 	}
@@ -534,7 +610,7 @@ func (s *Snapshot) QueryText(name string, pattern []string) ([][]string, error) 
 			mask[i] = true
 		}
 	}
-	ts, err := s.db.eng.Query(name, probe, mask)
+	ts, err := s.db.eng.QueryReq(s.rid, name, probe, mask)
 	if err != nil {
 		return nil, err
 	}
@@ -570,7 +646,7 @@ func (s *Snapshot) Scan(name string, lo, hi any) ([][]any, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sti: %s upper bound: %v", name, err)
 	}
-	ts, err := s.db.eng.ScanRange(name, loW, hiW)
+	ts, err := s.db.eng.ScanRangeReq(s.rid, name, loW, hiW)
 	if err != nil {
 		return nil, err
 	}
@@ -601,25 +677,61 @@ func (db *Database) decodeRows(decl *ram.Relation, ts []tuple.Tuple) [][]any {
 }
 
 // Query is the one-shot form of Snapshot().Query: it pins a snapshot for
-// the duration of the call.
+// the duration of the call. One-shot reads are instrumented: each gets a
+// request ID joining the trace tree, and its latency lands in the query
+// histogram partitioned by outcome (ok / miss / error).
 func (db *Database) Query(name string, pattern ...any) ([][]any, error) {
+	req := db.obs.Start(obsv.OpQuery, name)
 	s := db.Snapshot()
-	defer s.Release()
-	return s.Query(name, pattern...)
+	db.tagSnapshot(s, req)
+	rows, err := s.Query(name, pattern...)
+	s.Release()
+	req.Finish(readOutcome(len(rows), err), db.readProf)
+	return rows, err
 }
 
 // QueryText is the one-shot form of Snapshot().QueryText.
 func (db *Database) QueryText(name string, pattern []string) ([][]string, error) {
+	req := db.obs.Start(obsv.OpQuery, name)
 	s := db.Snapshot()
-	defer s.Release()
-	return s.QueryText(name, pattern)
+	db.tagSnapshot(s, req)
+	rows, err := s.QueryText(name, pattern)
+	s.Release()
+	req.Finish(readOutcome(len(rows), err), db.readProf)
+	return rows, err
 }
 
 // Scan is the one-shot form of Snapshot().Scan.
 func (db *Database) Scan(name string, lo, hi any) ([][]any, error) {
+	req := db.obs.Start(obsv.OpScan, name)
 	s := db.Snapshot()
-	defer s.Release()
-	return s.Scan(name, lo, hi)
+	db.tagSnapshot(s, req)
+	rows, err := s.Scan(name, lo, hi)
+	s.Release()
+	req.Finish(readOutcome(len(rows), err), db.readProf)
+	return rows, err
+}
+
+// tagSnapshot stamps the request's ID onto the snapshot so the engine spans
+// it produces join the trace. The ID string is only built when the engine is
+// actually tracing — the common untraced path stays allocation-free.
+func (db *Database) tagSnapshot(s *Snapshot, req obsv.Req) {
+	if db.traced && req.Active() {
+		s.rid = req.ID()
+	}
+}
+
+// readOutcome classifies a finished read: errors are errors, zero rows is a
+// miss, anything else is a hit.
+func readOutcome(n int, err error) obsv.Outcome {
+	switch {
+	case err != nil:
+		return obsv.OutError
+	case n == 0:
+		return obsv.OutMiss
+	default:
+		return obsv.OutOK
+	}
 }
 
 // Size is the one-shot form of Snapshot().Size.
@@ -648,6 +760,15 @@ type DBStats struct {
 	// first Apply: batches recompute with the shard-parallel main program.
 	Shards    int            `json:"shards,omitempty"`
 	Relations map[string]int `json:"relations"`
+	// FallbackReasons tallies every recompute fallback by reason (the
+	// cumulative history behind FallbackReason, which only keeps the most
+	// recent one).
+	FallbackReasons map[string]uint64 `json:"fallback_reasons,omitempty"`
+	// Requests carries the request-level latency series when the database
+	// was opened WithObservability: per (op, outcome) histograms plus slow
+	// and in-flight counters. Published through the expvar sti.db blob by
+	// sti serve.
+	Requests *obsv.Snapshot `json:"requests,omitempty"`
 }
 
 // Stats reports apply counters and per-relation sizes under a snapshot.
@@ -665,10 +786,17 @@ func (db *Database) Stats() DBStats {
 		Deletable:          db.eng.Deletable(),
 		Shards:             db.shards,
 		Relations:          map[string]int{},
+		Requests:           db.obs.Stats(),
 	}
 	for _, rd := range db.prog.ram.Relations {
 		if !rd.Aux {
 			st.Relations[rd.Name] = db.eng.Relation(rd.Name).Size()
+		}
+	}
+	if len(db.fallbackCounts) > 0 {
+		st.FallbackReasons = make(map[string]uint64, len(db.fallbackCounts))
+		for reason, n := range db.fallbackCounts {
+			st.FallbackReasons[reason] = n
 		}
 	}
 	return st

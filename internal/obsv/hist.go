@@ -1,0 +1,132 @@
+package obsv
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log-spaced latency buckets. Bucket b counts
+// durations d with bits.Len64(d in ns) == b, i.e. d in [2^(b-1), 2^b) ns;
+// the last bucket absorbs everything longer. With 36 buckets the top finite
+// bound is 2^35 ns ≈ 34 s, far beyond any request this engine serves.
+const NumBuckets = 36
+
+// Histogram is a zero-dependency log-bucketed latency histogram. All fields
+// are atomic so concurrent readers (Query goroutines) can record without a
+// lock, and a scrape can snapshot mid-traffic. Observing allocates nothing
+// and costs exactly two atomic adds; the total count is derived from the
+// buckets at snapshot time instead of being maintained as a third counter.
+type Histogram struct {
+	sumNs   atomic.Int64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	ns := uint64(d.Nanoseconds())
+	b := bits.Len64(ns) // 0 for 0ns, else floor(log2)+1
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	return b
+}
+
+// BucketBoundNs returns the inclusive upper bound of bucket b in
+// nanoseconds (the Prometheus "le" value). The last bucket is unbounded
+// and reports a negative sentinel; callers render it as +Inf.
+func BucketBoundNs(b int) int64 {
+	if b >= NumBuckets-1 {
+		return -1
+	}
+	return int64(uint64(1)<<uint(b)) - 1
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.sumNs.Add(d.Nanoseconds())
+	h.buckets[bucketOf(d)].Add(1)
+}
+
+// Count reports the number of observations (summed over the buckets).
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// HistBucket is one non-empty bucket in a snapshot: the count of
+// observations at or below LeNs nanoseconds that fell in this bucket
+// (non-cumulative). LeNs < 0 marks the unbounded last bucket.
+type HistBucket struct {
+	LeNs  int64  `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+// HistView is the JSON-friendly snapshot of one histogram: totals, bucket
+// counts, and bucket-resolution quantile estimates (the reported quantile
+// is the upper bound of the bucket containing it, so it overestimates by at
+// most 2×).
+type HistView struct {
+	Count   uint64       `json:"count"`
+	SumNs   int64        `json:"sum_ns"`
+	P50Ns   int64        `json:"p50_ns,omitempty"`
+	P99Ns   int64        `json:"p99_ns,omitempty"`
+	MeanNs  int64        `json:"mean_ns,omitempty"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// snapshot copies the atomic counters into a plain array. The copy is not a
+// single atomic cut, but each counter is monotone so the view is at worst a
+// few observations torn — fine for telemetry.
+func (h *Histogram) snapshot() (count uint64, sumNs int64, buckets [NumBuckets]uint64) {
+	sumNs = h.sumNs.Load()
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		count += buckets[i]
+	}
+	return
+}
+
+// View snapshots the histogram.
+func (h *Histogram) View() HistView {
+	count, sumNs, buckets := h.snapshot()
+	v := HistView{Count: count, SumNs: sumNs}
+	if count == 0 {
+		return v
+	}
+	v.MeanNs = sumNs / int64(count)
+	v.P50Ns = quantile(buckets[:], count, 0.50)
+	v.P99Ns = quantile(buckets[:], count, 0.99)
+	for b, n := range buckets {
+		if n > 0 {
+			v.Buckets = append(v.Buckets, HistBucket{LeNs: BucketBoundNs(b), Count: n})
+		}
+	}
+	return v
+}
+
+// quantile returns the upper bound of the bucket holding quantile q.
+func quantile(buckets []uint64, count uint64, q float64) int64 {
+	rank := uint64(q * float64(count))
+	if rank >= count {
+		rank = count - 1
+	}
+	var seen uint64
+	for b, n := range buckets {
+		seen += n
+		if seen > rank {
+			if le := BucketBoundNs(b); le >= 0 {
+				return le
+			}
+			// Unbounded last bucket: report the start of its range.
+			return int64(uint64(1) << uint(NumBuckets-2))
+		}
+	}
+	return 0
+}

@@ -1,0 +1,173 @@
+// Package promtest validates the subset of the Prometheus text exposition
+// format (version 0.0.4) that internal/obsv emits. It lives outside the
+// _test.go files so both the obsv unit tests and the sti serve HTTP tests
+// can scrape an endpoint and assert the payload is well-formed.
+package promtest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Validate checks an exposition payload: every sample line parses, every
+// metric name has a preceding TYPE, histogram bucket series are cumulative
+// with a final +Inf bucket equal to _count, metric names stay within the
+// legal charset, and counters never carry a negative value. It returns the
+// set of sample names seen so callers can assert presence.
+func Validate(text string) (map[string]bool, error) {
+	types := map[string]string{}
+	series := map[string]bool{}
+	type histState struct {
+		lastCum  float64
+		infSeen  bool
+		infValue float64
+		count    float64
+		hasCount bool
+	}
+	hists := map[string]*histState{} // keyed by name + labels (minus le)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			return nil, fmt.Errorf("line %d: unknown comment %q", ln+1, line)
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		series[name] = true
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if bt := strings.TrimSuffix(name, suffix); types[bt] == "histogram" {
+					base = bt
+				}
+			}
+		}
+		if types[base] == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", ln+1, name)
+		}
+		if types[base] == "counter" && value < 0 {
+			return nil, fmt.Errorf("line %d: counter %s is negative: %v", ln+1, name, value)
+		}
+		if types[base] == "histogram" {
+			le, rest := splitLe(labels)
+			key := base + "{" + rest + "}"
+			st := hists[key]
+			if st == nil {
+				st = &histState{}
+				hists[key] = st
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if value < st.lastCum {
+					return nil, fmt.Errorf("line %d: histogram %s buckets not cumulative (%v after %v)", ln+1, key, value, st.lastCum)
+				}
+				st.lastCum = value
+				if le == "+Inf" {
+					st.infSeen = true
+					st.infValue = value
+				} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+					return nil, fmt.Errorf("line %d: bad le %q", ln+1, le)
+				}
+			case strings.HasSuffix(name, "_count"):
+				st.count = value
+				st.hasCount = true
+			}
+		}
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			return nil, fmt.Errorf("histogram %s has no +Inf bucket", key)
+		}
+		if !st.hasCount || st.infValue != st.count {
+			return nil, fmt.Errorf("histogram %s: +Inf bucket %v != count %v", key, st.infValue, st.count)
+		}
+	}
+	return series, nil
+}
+
+// parseSample parses `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces: %q", line)
+		}
+		name, labels, rest = line[:i], line[i+1:j], line[j+1:]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	for _, r := range name {
+		if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return name, labels, v, nil
+}
+
+// splitLe pulls the le label out of a label string, returning the remaining
+// labels sorted so series with reordered labels key identically.
+func splitLe(labels string) (le, rest string) {
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if strings.HasPrefix(part, "le=") {
+			le = strings.Trim(strings.TrimPrefix(part, "le="), `"`)
+			continue
+		}
+		kept = append(kept, part)
+	}
+	sort.Strings(kept)
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabels splits on commas outside quoted values.
+func splitLabels(labels string) []string {
+	var out []string
+	var b strings.Builder
+	quoted := false
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case c == '\\' && quoted && i+1 < len(labels):
+			b.WriteByte(c)
+			i++
+			b.WriteByte(labels[i])
+		case c == '"':
+			quoted = !quoted
+			b.WriteByte(c)
+		case c == ',' && !quoted:
+			out = append(out, b.String())
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() > 0 {
+		out = append(out, b.String())
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"sti/internal/codegen"
 	"sti/internal/compile"
 	"sti/internal/interp"
+	"sti/internal/obsv"
 	"sti/internal/ram"
 	"sti/internal/symtab"
 	"sti/internal/tuple"
@@ -41,6 +42,9 @@ type runOptions struct {
 	provenance bool
 	workers    int
 	shards     int
+	// obs is the request-scoped observability hub, built by
+	// WithObservability (observe.go). Open-only; one-shot runs ignore it.
+	obs *obsv.Observer
 }
 
 // WithBackend selects the execution engine (default Interpreter).
