@@ -14,6 +14,8 @@
 //	benchmark -fig delete      incremental deletion vs recompute fallback
 //	benchmark -fig obsv        observability layer overhead (plain vs
 //	                           WithObservability on the same request stream)
+//	benchmark -fig persist     durable tier overhead and cold-restart
+//	                           recovery (memory vs WithPersistence)
 //	benchmark -table 1         first-run compile+execute ratios (Table 1)
 //	benchmark -all             everything
 //
@@ -32,7 +34,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | shard | resident | delete | obsv")
+	fig := flag.String("fig", "", "figure to reproduce: 15 | 16 | 18 | 19 | reorder | dispatch | scaling | shard | resident | delete | obsv | persist")
 	table := flag.String("table", "", "table to reproduce: 1")
 	all := flag.Bool("all", false, "run every experiment")
 	scaleFlag := flag.String("scale", "small", "workload scale: small | medium | large")
@@ -134,6 +136,11 @@ func main() {
 	if *all || *fig == "obsv" {
 		run("obsv", func() ([]bench.BenchRecord, error) {
 			return runObsv(scale, *repeats, w)
+		})
+	}
+	if *all || *fig == "persist" {
+		run("persist", func() ([]bench.BenchRecord, error) {
+			return runPersist(scale, *repeats, w)
 		})
 	}
 	if *all || *fig == "portfolio" {

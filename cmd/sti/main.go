@@ -17,6 +17,11 @@
 //	                                           /metrics, /healthz, /readyz,
 //	                                           and structured request logs
 //	                                           (-log-format json, -slow 1s)
+//	sti serve program.dl -data dir             same, durably: WAL + snapshot
+//	                                           checkpoints in dir, crash and
+//	                                           restart recovery, graceful
+//	                                           SIGINT/SIGTERM shutdown
+//	                                           (-snapshot-every N, -fsync)
 //
 // Input relations read <name>.facts (tab-separated) from -F; output
 // relations write <name>.csv to -D; .printsize writes to stdout.

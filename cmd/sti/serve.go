@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -10,7 +12,10 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"sti"
@@ -36,16 +41,27 @@ import (
 // one access record per HTTP request carrying its request ID, and one
 // warning with the engine profile for every database request slower than
 // -slow. Stdout stays reserved for the line protocol.
+//
+// With -data, the database opens a durable data directory: every applied
+// batch is WAL-logged before it mutates the engine, checkpoints roll the
+// log into snapshots, and a restart (clean or after a crash) recovers the
+// resident state from disk. SIGINT/SIGTERM trigger a graceful shutdown:
+// the database closes first — taking a final checkpoint and flushing the
+// WAL — which flips /readyz to 503, then the HTTP listener drains and the
+// process exits.
 func cmdServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	jobs := fs.Int("j", 1, "parallel workers for rule evaluation")
 	optimize := fs.Bool("O", false, "run RAM optimization passes (applies to initial evaluation only)")
 	httpAddr := fs.String("http", "", "also serve HTTP on this address (/apply, /query, /stats, /metrics, /healthz, /readyz, /debug/vars)")
+	dataDir := fs.String("data", "", "durable data directory (WAL + snapshots + segment store); created if missing, recovered if present")
+	snapEvery := fs.Int("snapshot-every", 0, "checkpoint after this many applies (0 = default cadence, negative = checkpoint only on open and close; needs -data)")
+	fsync := fs.Bool("fsync", false, "fsync the WAL after every apply (durable against power loss, slower; needs -data)")
 	logFormat := fs.String("log-format", "text", "structured log encoding: text | json")
 	logLevel := fs.String("log-level", "info", "minimum log level: debug | info | warn | error (debug includes per-request access records)")
 	slow := fs.Duration("slow", time.Second, "log requests slower than this with the engine profile (0 disables)")
 	debug := debugFlag(fs)
-	file := parseWithFile(fs, args, "usage: sti serve program.dl [-j N] [-O] [-http addr] [-log-format text|json] [-log-level info] [-slow 1s]")
+	file := parseWithFile(fs, args, "usage: sti serve program.dl [-j N] [-O] [-http addr] [-data dir] [-snapshot-every N] [-fsync] [-log-format text|json] [-log-level info] [-slow 1s]")
 	applyDebug(*debug)
 
 	logger := newLogger(*logFormat, *logLevel)
@@ -60,24 +76,54 @@ func cmdServe(args []string) {
 	if *optimize {
 		prog.Optimize()
 	}
-	db, err := prog.Open(
+	opts := []sti.Option{
 		sti.WithWorkers(*jobs),
 		sti.WithObservability(sti.ObservabilityConfig{Logger: logger, SlowRequest: *slow}),
-	)
+	}
+	if *dataDir != "" {
+		opts = append(opts, sti.WithPersistenceConfig(sti.PersistenceConfig{
+			Dir:           *dataDir,
+			SnapshotEvery: *snapEvery,
+			Fsync:         *fsync,
+		}))
+	} else if *snapEvery != 0 || *fsync {
+		fatal(errors.New("-snapshot-every and -fsync require -data"))
+	}
+	db, err := prog.Open(opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
+	if p := db.Stats().Persist; p != nil {
+		logger.Info("durable tier open", "dir", p.Dir, "generation", p.Generation,
+			"recovered", p.Recovered, "recovered_wal_records", p.RecoveredRecords,
+			"tables", p.Tables, "gated", len(p.Gated))
+	}
 
+	var srv *http.Server
 	if *httpAddr != "" {
 		expvar.Publish("sti.db", expvar.Func(func() any { return db.Stats() }))
+		srv = &http.Server{Addr: *httpAddr, Handler: serveMux(db)}
 		go func() {
-			if err := http.ListenAndServe(*httpAddr, serveMux(db)); err != nil {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fatal(err)
 			}
 		}()
 		logger.Info("serving http", "addr", *httpAddr, "program", file)
 	}
+
+	// SIGINT/SIGTERM shut the server down gracefully; a second signal during
+	// the drain kills the process the default way.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		logger.Info("signal received, shutting down", "signal", sig.String())
+		signal.Stop(sigc)
+		shutdownServe(db, srv, logger)
+		os.Exit(0)
+	}()
+
 	quit, err := serveLines(db, os.Stdin, os.Stdout)
 	if err != nil {
 		fatal(err)
@@ -89,6 +135,30 @@ func cmdServe(args []string) {
 		logger.Info("stdin closed, serving http only", "addr", *httpAddr)
 		select {}
 	}
+	shutdownServe(db, srv, logger)
+}
+
+// shutdownServe is the single graceful-shutdown path: close the database
+// first — on a durable deployment that takes the final checkpoint and
+// flushes the WAL, and it flips /readyz to 503 either way — then drain the
+// HTTP listener so in-flight responses complete. Idempotent, so the signal
+// handler and the normal exit path can both call it.
+var shutdownOnce sync.Once
+
+func shutdownServe(db *sti.Database, srv *http.Server, logger *slog.Logger) {
+	shutdownOnce.Do(func() {
+		if err := db.Close(); err != nil {
+			logger.Error("database close failed", "error", err)
+		}
+		if srv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				logger.Warn("http shutdown incomplete", "error", err)
+			}
+		}
+		logger.Info("shutdown complete")
+	})
 }
 
 // newLogger builds the server's structured logger on stderr; stdout belongs

@@ -74,11 +74,21 @@ type Database struct {
 	// serial unsharded execution, while recomputation reuses the
 	// shard-parallel main program.
 	shards int
+
+	// pst is the durable tier (nil unless opened WithPersistence): the
+	// segment store behind eligible input relations plus the WAL/snapshot
+	// protocol that makes Apply batches survive restarts (persist.go).
+	pst *persistence
 }
 
 // Open evaluates the program to its initial fixpoint (program facts only;
 // EDB arrives through Apply) and returns a resident database. The
 // interpreter backend is required, and provenance is not supported.
+//
+// With WithPersistence, eligible input relations are built on the durable
+// tier, the data directory's snapshot + WAL are replayed first (so a
+// restarted database resumes at its last applied batch, even after a
+// crash), and the recovered state is checkpointed before Open returns.
 func (p *Program) Open(opts ...Option) (*Database, error) {
 	var o runOptions
 	o.cfg = interp.DefaultConfig()
@@ -100,11 +110,19 @@ func (p *Program) Open(opts ...Option) (*Database, error) {
 	if o.shards > 0 {
 		cfg.Shards = o.shards
 	}
+	var pst *persistence
+	if o.persist != nil {
+		var err error
+		if pst, err = openPersistence(p, *o.persist); err != nil {
+			return nil, err
+		}
+		cfg.Tier = dbTier{p: pst}
+	}
 	eng := interp.New(p.ram, p.st, cfg)
 	if err := eng.Load(interp.NewMemIO()); err != nil {
-		return nil, err
-	}
-	if err := eng.Eval(); err != nil {
+		if pst != nil {
+			pst.st.Close()
+		}
 		return nil, err
 	}
 	db := &Database{
@@ -115,6 +133,15 @@ func (p *Program) Open(opts ...Option) (*Database, error) {
 		fallbackCounts: map[string]uint64{},
 		obs:            o.obs,
 		traced:         eng.Telemetry().Tracing(),
+		pst:            pst,
+	}
+	if pst != nil {
+		if err := pst.recover(db); err != nil {
+			pst.abandon()
+			return nil, err
+		}
+	} else if err := eng.Eval(); err != nil {
+		return nil, err
 	}
 	db.phaseV.Store(int32(eng.Phase()))
 	db.epochV.Store(db.guard.Epoch())
@@ -138,13 +165,40 @@ func (db *Database) Deletable() bool { return db.eng.Deletable() }
 func (db *Database) Epoch() uint64 { return db.guard.Epoch() }
 
 // Close marks the database closed; subsequent operations fail. It waits
-// for in-flight snapshots and writers.
+// for in-flight snapshots and writers. A persistent database checkpoints
+// (final snapshot, synced WAL) and releases its data directory, so the next
+// Open recovers from a clean generation with nothing to replay.
 func (db *Database) Close() error {
+	db.guard.BeginWrite()
+	defer db.guard.EndWrite()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	db.stClosed.Store(true)
+	if db.pst != nil {
+		if db.broken != nil {
+			// The engine state is undefined; keep the last good snapshot and
+			// the WAL (which already holds every applied batch) for recovery.
+			db.pst.abandon()
+			return nil
+		}
+		return db.pst.shutdown(db)
+	}
+	return nil
+}
+
+// abandon closes the database without checkpointing or flushing, leaving
+// the data directory exactly as a process crash would: last snapshot plus
+// the WAL records whose Apply returned. Test hook for crash recovery.
+func (db *Database) abandon() {
 	db.guard.BeginWrite()
 	defer db.guard.EndWrite()
 	db.closed = true
 	db.stClosed.Store(true)
-	return nil
+	if db.pst != nil {
+		db.pst.abandon()
+	}
 }
 
 // fail marks the database broken — the engine hit a runtime error mid-apply
@@ -328,6 +382,17 @@ func (db *Database) Apply(b *Batch) error {
 		defer db.eng.SetRequest("")
 	}
 	out, err := db.applyLocked(b)
+	if err == nil && db.pst != nil {
+		db.pst.sinceSnap++
+		if db.pst.cfg.SnapshotEvery > 0 && db.pst.sinceSnap >= db.pst.cfg.SnapshotEvery {
+			// Periodic checkpoint bounds the WAL replay a restart pays. A
+			// checkpoint failure breaks the database: the WAL rotation may
+			// be half-done, and durability can no longer be promised.
+			if cerr := db.pst.checkpoint(db); cerr != nil {
+				out, err = obsv.OutError, db.fail(cerr)
+			}
+		}
+	}
 	db.phaseV.Store(int32(db.eng.Phase()))
 	// The deferred EndWrite publishes guard.Epoch()+1 whether the batch
 	// succeeded or not; mirror it now so the slow-request record below and
@@ -348,6 +413,14 @@ func (db *Database) applyLocked(b *Batch) (obsv.Outcome, error) {
 	}
 	if db.broken != nil {
 		return obsv.OutError, db.broken
+	}
+	if db.pst != nil {
+		// Write-ahead: the batch is durable before any state changes, so a
+		// crash at any later point replays it on restart. A WAL failure
+		// breaks the database — continuing would silently drop durability.
+		if err := db.pst.logBatch(db, b); err != nil {
+			return obsv.OutError, db.fail(err)
+		}
 	}
 	// Record the batch into the accumulated fact set.
 	for _, f := range b.ins {
@@ -769,6 +842,10 @@ type DBStats struct {
 	// and in-flight counters. Published through the expvar sti.db blob by
 	// sti serve.
 	Requests *obsv.Snapshot `json:"requests,omitempty"`
+	// Persist summarizes the durable tier when the database was opened
+	// WithPersistence: WAL/snapshot generations and counters, segment-store
+	// shape, and the relations gated off the persistent tier with reasons.
+	Persist *PersistStats `json:"persist,omitempty"`
 }
 
 // Stats reports apply counters and per-relation sizes under a snapshot.
@@ -798,6 +875,9 @@ func (db *Database) Stats() DBStats {
 		for reason, n := range db.fallbackCounts {
 			st.FallbackReasons[reason] = n
 		}
+	}
+	if db.pst != nil {
+		st.Persist = db.pst.stats()
 	}
 	return st
 }

@@ -183,6 +183,9 @@ func buildRelation(rd *ram.Relation, cfg Config) *relation.Relation {
 	if len(orders) == 0 {
 		orders = []tuple.Order{tuple.Identity(rd.Arity)}
 	}
+	if rel := tieredRelation(rd, cfg, orders); rel != nil {
+		return rel
+	}
 	if shardable(rd, cfg) {
 		rel := relation.NewSharded(rd.Name, rep, rd.Arity, orders, cfg.Shards, rd.ShardCol())
 		if rd.Counting {
@@ -195,6 +198,38 @@ func buildRelation(rd *ram.Relation, cfg Config) *relation.Relation {
 		rel.EnableCounting()
 	}
 	return rel
+}
+
+// tieredRelation consults the storage-tier policy (Config.Tier) for the
+// declaration. Only base input relations are candidates: auxiliary and
+// derived relations are recomputed from the EDB on recovery, so persisting
+// them buys nothing and would put swap-heavy delta traffic on disk.
+// Ineligible *input* relations are reported through Tier.Gate so operators
+// can see why they stayed in memory. Returns nil when the relation should
+// use the in-memory portfolio.
+func tieredRelation(rd *ram.Relation, cfg Config, orders []tuple.Order) *relation.Relation {
+	if cfg.Tier == nil || rd.Aux || !rd.Input {
+		return nil
+	}
+	switch {
+	case rd.Arity == 0:
+		cfg.Tier.Gate(rd.Name, "nullary relation")
+	case rd.Rep == ram.RepEqRel:
+		cfg.Tier.Gate(rd.Name, "eqrel: union-find has no persistent form")
+	case cfg.Legacy:
+		cfg.Tier.Gate(rd.Name, "legacy comparator store keeps its own layout")
+	case shardable(rd, cfg):
+		cfg.Tier.Gate(rd.Name, "sharded: hash partitions stay in memory")
+	default:
+		if rel := relation.NewPersistent(rd.Name, rd.Arity, orders, cfg.Tier); rel != nil {
+			if rd.Counting {
+				rel.EnableCounting()
+			}
+			return rel
+		}
+		cfg.Tier.Gate(rd.Name, "tier declined")
+	}
+	return nil
 }
 
 // shardable reports whether the declaration gets hash-partitioned indexes

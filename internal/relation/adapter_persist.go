@@ -1,0 +1,173 @@
+package relation
+
+import (
+	"fmt"
+
+	"sti/internal/metrics"
+	"sti/internal/store"
+	"sti/internal/tuple"
+	"sti/internal/value"
+)
+
+// persistAdapter is the dynamic adapter over a durable store.Table: the
+// sixth representation of the portfolio. Tuples are re-encoded to the
+// index's lexicographic order like every other adapter, then serialized
+// with the order-preserving byte codec (internal/tuple), so the table's
+// byte-comparison searches implement exactly the adapter contract:
+// PrefixScan is a key-range scan between a prefix and its successor, and
+// PartitionScan splits at sampled separator keys.
+//
+// There is no specialized static instruction set for this representation;
+// the interpreter's generator falls back to the generic dynamic opcodes,
+// which is the de-specialization seam doing its job (§3).
+type persistAdapter struct {
+	tab   *store.Table
+	order tuple.Order
+	arity int
+	ops   *metrics.IndexOps
+}
+
+func newPersistAdapter(tab *store.Table, order tuple.Order) *persistAdapter {
+	return &persistAdapter{tab: tab, order: order, arity: len(order)}
+}
+
+func (a *persistAdapter) Arity() int                      { return a.arity }
+func (a *persistAdapter) Rep() Rep                        { return Persist }
+func (a *persistAdapter) Order() tuple.Order              { return a.order }
+func (a *persistAdapter) Size() int                       { return a.tab.Len() }
+func (a *persistAdapter) Clear()                          { a.tab.Clear() }
+func (a *persistAdapter) impl() any                       { return a.tab }
+func (a *persistAdapter) attachOps(ops *metrics.IndexOps) { a.ops = ops }
+
+// persistKeyMax bounds the stack buffer for encoded keys.
+const persistKeyMax = MaxArity * tuple.KeyWidth
+
+// encode re-orders t and serializes it into buf, returning the key view.
+func (a *persistAdapter) encode(buf []byte, t tuple.Tuple) []byte {
+	var enc [MaxArity]value.Value
+	a.order.Encode(enc[:a.arity], t)
+	return tuple.AppendKey(buf[:0], enc[:a.arity])
+}
+
+func (a *persistAdapter) Insert(t tuple.Tuple) bool {
+	var buf [persistKeyMax]byte
+	added := a.tab.Insert(a.encode(buf[:], t))
+	if a.ops != nil {
+		a.ops.Inserts.Add(1)
+		if added {
+			a.ops.Fresh.Add(1)
+		}
+	}
+	return added
+}
+
+func (a *persistAdapter) InsertAll(flat []value.Value, count int) int {
+	var buf [persistKeyMax]byte
+	added := 0
+	for i := 0; i < count; i++ {
+		if a.tab.Insert(a.encode(buf[:], flat[i*a.arity:(i+1)*a.arity])) {
+			added++
+		}
+	}
+	if a.ops != nil {
+		a.ops.Inserts.Add(uint64(count))
+		a.ops.Fresh.Add(uint64(added))
+	}
+	return added
+}
+
+func (a *persistAdapter) Delete(t tuple.Tuple) bool {
+	var buf [persistKeyMax]byte
+	return a.tab.Delete(a.encode(buf[:], t))
+}
+
+func (a *persistAdapter) Contains(t tuple.Tuple) bool {
+	if a.ops != nil {
+		a.ops.Lookups.Add(1)
+	}
+	var buf [persistKeyMax]byte
+	return a.tab.Contains(a.encode(buf[:], t))
+}
+
+func (a *persistAdapter) ContainsEncoded(t tuple.Tuple) bool {
+	if a.ops != nil {
+		a.ops.Lookups.Add(1)
+	}
+	var buf [persistKeyMax]byte
+	return a.tab.Contains(tuple.AppendKey(buf[:0], t))
+}
+
+// SwapContents is unsupported: only auxiliary delta/new relations swap
+// during evaluation, and the tier policy keeps those in memory, so a swap
+// reaching a persistent index is an engine bug.
+func (a *persistAdapter) SwapContents(other Index) {
+	panic(fmt.Sprintf("relation: SwapContents on persistent index (table %s, other %v/%d)",
+		a.tab.Name(), other.Rep(), other.Arity()))
+}
+
+func (a *persistAdapter) Scan() Iterator {
+	if a.ops != nil {
+		a.ops.Scans.Add(1)
+	}
+	return newBuffered(&persistBatch{cur: a.tab.Range(nil, nil)}, a.arity)
+}
+
+func (a *persistAdapter) PrefixScan(pattern tuple.Tuple, k int) Iterator {
+	if a.ops != nil {
+		a.ops.RangeScans.Add(1)
+	}
+	if k == 0 {
+		return newBuffered(&persistBatch{cur: a.tab.Range(nil, nil)}, a.arity)
+	}
+	lo := tuple.AppendKey(make([]byte, 0, tuple.KeySize(k)), pattern[:k])
+	return newBuffered(&persistBatch{cur: a.tab.Range(lo, tuple.PrefixSuccessor(lo))}, a.arity)
+}
+
+func (a *persistAdapter) AnyMatch(pattern tuple.Tuple, k int) bool {
+	if a.ops != nil {
+		a.ops.Probes.Add(1)
+	}
+	if k == 0 {
+		return a.tab.Len() > 0
+	}
+	lo := tuple.AppendKey(make([]byte, 0, tuple.KeySize(k)), pattern[:k])
+	_, ok := a.tab.Range(lo, tuple.PrefixSuccessor(lo)).Next()
+	return ok
+}
+
+// PartitionScan splits the keyspace at sampled separator keys into up to n
+// disjoint, collectively exhaustive ranges.
+func (a *persistAdapter) PartitionScan(n int) []Iterator {
+	if a.ops != nil {
+		a.ops.Partitions.Add(1)
+	}
+	seps := a.tab.SampleKeys(n)
+	if len(seps) == 0 {
+		return []Iterator{a.Scan()}
+	}
+	var out []Iterator
+	var lo []byte
+	for _, hi := range seps {
+		out = append(out, newBuffered(&persistBatch{cur: a.tab.Range(lo, hi)}, a.arity))
+		lo = hi
+	}
+	out = append(out, newBuffered(&persistBatch{cur: a.tab.Range(lo, nil)}, a.arity))
+	return out
+}
+
+// persistBatch adapts a store cursor to the wide batcher call, decoding
+// keys straight into the caller's tuple slots.
+type persistBatch struct {
+	cur *store.Cursor
+}
+
+func (s *persistBatch) nextBatch(dst []tuple.Tuple) int {
+	for i := range dst {
+		k, ok := s.cur.Next()
+		if !ok {
+			return i
+		}
+		tuple.DecodeKey(dst[i], k)
+	}
+	return len(dst)
+}

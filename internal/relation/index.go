@@ -38,6 +38,12 @@ const (
 	Brie
 	EqRel
 	Legacy // B-tree with a runtime-comparator (the legacy interpreter's store, §5.1)
+	// Persist is the durable tier (internal/store): an LSM table keyed by
+	// the order-preserving byte codec. It has no specialized static
+	// instructions — every access crosses the dynamic adapter, which is
+	// exactly what de-specialization buys: a sixth representation slots into
+	// the portfolio with zero interpreter changes.
+	Persist
 )
 
 // String returns the source-language spelling of the representation.
@@ -51,6 +57,8 @@ func (r Rep) String() string {
 		return "eqrel"
 	case Legacy:
 		return "legacy"
+	case Persist:
+		return "persist"
 	default:
 		return fmt.Sprintf("rep(%d)", uint8(r))
 	}

@@ -1,0 +1,43 @@
+package relation
+
+import (
+	"sti/internal/store"
+	"sti/internal/tuple"
+)
+
+// Tier is the storage-tier policy hook: the engine consults it when
+// building each relation to decide whether the relation's indexes live in
+// the in-memory portfolio (hot tier) or on durable tables (persistent
+// tier). The db layer implements it over an open store.Store and records
+// gating decisions for observability.
+type Tier interface {
+	// Table returns the durable table backing index idx of relation rel, or
+	// nil to keep that relation in memory. Implementations must return
+	// tables keyed at tuple.KeySize(len(order)) bytes.
+	Table(rel string, idx int, order tuple.Order) *store.Table
+	// Gate records that rel was kept in memory for the given reason; called
+	// once per gated input relation so operators can see why a relation did
+	// not persist.
+	Gate(rel string, reason string)
+}
+
+// NewPersistent creates a relation whose indexes are durable tables from
+// tier. It returns nil when the tier declines any index, in which case the
+// caller falls back to the in-memory portfolio.
+func NewPersistent(name string, arity int, orders []tuple.Order, tier Tier) *Relation {
+	if arity == 0 || arity > MaxArity {
+		return nil
+	}
+	if len(orders) == 0 {
+		orders = []tuple.Order{tuple.Identity(arity)}
+	}
+	r := &Relation{Name: name, arity: arity, rep: Persist}
+	for i, o := range orders {
+		tab := tier.Table(name, i, o)
+		if tab == nil {
+			return nil
+		}
+		r.indexes = append(r.indexes, newPersistAdapter(tab, o))
+	}
+	return r
+}

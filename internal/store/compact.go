@@ -1,0 +1,136 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Compaction merges a table's entire segment stack into one run, dropping
+// shadowed entries and tombstones. It runs on the store's background
+// goroutine: the merge itself touches only the immutable captured segments
+// (which cannot be swept while t.compacting is true), and the swap takes the
+// table lock briefly. Segments flushed while the merge runs are newer than
+// every captured run, so they simply stay stacked on top of the merged one.
+
+// compactCapture is the immutable input set grabbed under the table lock.
+type compactCapture struct {
+	segs []*segment
+	gen  uint64
+	seq  uint64
+	path string
+}
+
+func (t *Table) captureCompact() (compactCapture, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.segs) < 2 {
+		t.compacting = false
+		return compactCapture{}, false
+	}
+	c := compactCapture{
+		segs: append([]*segment(nil), t.segs...),
+		gen:  t.gen,
+		seq:  t.seq,
+	}
+	c.path = filepath.Join(t.dir, fmt.Sprintf("seg-%08d.seg", c.seq))
+	t.seq++
+	return c, true
+}
+
+// compact performs one full merge. Called only from the store's compactor
+// goroutine, with t.compacting already set.
+func (t *Table) compact() error {
+	c, ok := t.captureCompact()
+	if !ok {
+		return nil
+	}
+	// The captured set always includes the table's oldest run, so nothing
+	// below it can resurrect a deleted key: tombstones are dropped.
+	src := newMergeSource(c.segs, true)
+	n, err := writeSegment(c.path, t.keyLen, src)
+	if err != nil {
+		t.mu.Lock()
+		t.compacting = false
+		t.mu.Unlock()
+		return fmt.Errorf("store: compact %s: %w", t.name, err)
+	}
+	var merged *segment
+	if n > 0 {
+		if merged, err = openSegment(c.path); err != nil {
+			t.mu.Lock()
+			t.compacting = false
+			t.mu.Unlock()
+			return fmt.Errorf("store: reopen compacted %s: %w", t.name, err)
+		}
+	} else {
+		os.Remove(c.path)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.compacting = false
+	if t.gen != c.gen {
+		// Clear ran mid-merge: the result describes dead data.
+		if merged != nil {
+			merged.close()
+			os.Remove(c.path)
+		}
+		return nil
+	}
+	newer := t.segs[len(c.segs):] // runs flushed during the merge
+	if merged != nil {
+		t.segs = append([]*segment{merged}, newer...)
+	} else {
+		t.segs = append([]*segment(nil), newer...)
+	}
+	// Captured runs stay mapped until a writer-context safe point: a reader
+	// cursor opened before the swap may still be walking them.
+	t.retired = append(t.retired, c.segs...)
+	t.store.compactions.Add(1)
+	t.store.fsyncs.Add(1)
+	return nil
+}
+
+// mergeSource k-way merges segments (oldest first in input; higher index
+// wins ties) into one ascending, de-duplicated stream.
+type mergeSource struct {
+	segs     []*segment
+	pos      []int
+	dropDels bool
+}
+
+func newMergeSource(segs []*segment, dropDels bool) *mergeSource {
+	return &mergeSource{segs: segs, pos: make([]int, len(segs)), dropDels: dropDels}
+}
+
+func (m *mergeSource) next() ([]byte, byte, bool) {
+	for {
+		win := -1
+		var winKey []byte
+		// Scan newest → oldest so the first holder of the minimal key is
+		// the newest level, which decides the op.
+		for i := len(m.segs) - 1; i >= 0; i-- {
+			if m.pos[i] >= m.segs[i].count {
+				continue
+			}
+			k := m.segs[i].key(m.pos[i])
+			if win < 0 || bytes.Compare(k, winKey) < 0 {
+				win, winKey = i, k
+			}
+		}
+		if win < 0 {
+			return nil, 0, false
+		}
+		op := m.segs[win].op(m.pos[win])
+		for i := range m.segs {
+			if m.pos[i] < m.segs[i].count && bytes.Equal(m.segs[i].key(m.pos[i]), winKey) {
+				m.pos[i]++
+			}
+		}
+		if m.dropDels && op == opDel {
+			continue
+		}
+		return winKey, op, true
+	}
+}

@@ -1,0 +1,118 @@
+package store
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Cursor enumerates live keys of a table in ascending order over the
+// half-open range [lo, hi) (nil bounds are unbounded). It merges the
+// memtable snapshot and every segment, newest level winning on key ties,
+// and skips tombstoned keys. The yielded slice is only valid until the next
+// call to Next.
+type Cursor struct {
+	srcs []cursorSrc // index 0 is newest (the memtable)
+	hi   []byte
+}
+
+// cursorSrc is one sorted level positioned at its next candidate.
+type cursorSrc struct {
+	mem  []memEnt // memtable level when non-nil
+	seg  *segment // segment level otherwise
+	i, n int
+}
+
+func (s *cursorSrc) key() []byte {
+	if s.mem != nil {
+		return []byte(s.mem[s.i].key)
+	}
+	return s.seg.key(s.i)
+}
+
+// keyView avoids the []byte(string) copy for comparisons.
+func (s *cursorSrc) cmp(other []byte) int {
+	if s.mem != nil {
+		return bytes.Compare([]byte(s.mem[s.i].key), other)
+	}
+	return bytes.Compare(s.seg.key(s.i), other)
+}
+
+func (s *cursorSrc) op() byte {
+	if s.mem != nil {
+		return s.mem[s.i].op
+	}
+	return s.seg.op(s.i)
+}
+
+// Range returns a cursor over [lo, hi). The cursor captures an immutable
+// view: the memtable's sorted snapshot and the current segment list.
+func (t *Table) Range(lo, hi []byte) *Cursor {
+	t.mu.Lock()
+	ents := t.sortedLocked()
+	segs := append([]*segment(nil), t.segs...)
+	t.mu.Unlock()
+
+	c := &Cursor{hi: hi}
+	// Newest first: memtable, then segments newest → oldest.
+	memStart := 0
+	if lo != nil {
+		memStart = sort.Search(len(ents), func(i int) bool { return ents[i].key >= string(lo) })
+	}
+	if memStart < len(ents) {
+		c.srcs = append(c.srcs, cursorSrc{mem: ents, i: memStart, n: len(ents)})
+	}
+	for i := len(segs) - 1; i >= 0; i-- {
+		g := segs[i]
+		start := 0
+		if lo != nil {
+			start, _ = g.search(lo)
+		}
+		if start < g.count {
+			c.srcs = append(c.srcs, cursorSrc{seg: g, i: start, n: g.count})
+		}
+	}
+	return c
+}
+
+// Next yields the next live key in range, or ok=false when exhausted.
+func (c *Cursor) Next() ([]byte, bool) {
+	for {
+		// Find the minimal key across sources; the first (newest) source
+		// holding it decides the op. The source count is small (memtable +
+		// a compacted handful of segments), so a linear sweep beats heap
+		// bookkeeping.
+		win := -1
+		var winKey []byte
+		for si := range c.srcs {
+			s := &c.srcs[si]
+			if s.i >= s.n {
+				continue
+			}
+			if win < 0 {
+				win, winKey = si, s.key()
+				continue
+			}
+			if d := s.cmp(winKey); d < 0 {
+				win, winKey = si, s.key()
+			}
+		}
+		if win < 0 {
+			return nil, false
+		}
+		if c.hi != nil && bytes.Compare(winKey, c.hi) >= 0 {
+			return nil, false
+		}
+		op := c.srcs[win].op()
+		// Advance every source positioned at the winning key (shadowed
+		// older entries are consumed together with the winner).
+		for si := range c.srcs {
+			s := &c.srcs[si]
+			if s.i < s.n && s.cmp(winKey) == 0 {
+				s.i++
+			}
+		}
+		if op == opSet {
+			return winKey, true
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !linux && !darwin
+
+package store
+
+import "os"
+
+// mmapFile is unavailable on this platform; segments fall back to a plain
+// read into memory.
+func mmapFile(f *os.File, size int) ([]byte, bool) { return nil, false }
+
+func munmap(b []byte) {}
+
+// lockFile is a no-op on platforms without flock; single-process use is the
+// caller's responsibility there.
+func lockFile(f *os.File) error { return nil }
+
+func unlockFile(f *os.File) {}

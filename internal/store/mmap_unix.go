@@ -1,0 +1,39 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. It returns (nil, false) when the
+// mapping fails; callers fall back to a plain read.
+func mmapFile(f *os.File, size int) ([]byte, bool) {
+	if size <= 0 {
+		return nil, false
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+func munmap(b []byte) {
+	if b != nil {
+		syscall.Munmap(b)
+	}
+}
+
+// lockFile takes an exclusive, non-blocking advisory lock on f, so two
+// processes cannot open the same data directory. The lock dies with the
+// process, which is what makes crash recovery possible without stale-lock
+// cleanup.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+func unlockFile(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

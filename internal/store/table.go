@@ -1,0 +1,303 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Table is one durable keyspace: an LSM-style stack of an in-memory
+// memtable over immutable sorted segment runs. Keys are fixed-width
+// order-preserving encodings (internal/tuple codec), so all searches —
+// point, prefix, and range — are byte comparisons.
+//
+// Concurrency contract (the de-specialization layer's): one writer at a
+// time mutates (Insert/Delete/Clear/Flush), any number of readers may run
+// point lookups and cursors concurrently with each other, and readers never
+// overlap a writer (the engine's epoch guard serializes them). Background
+// compaction is the one true concurrent mutator; it only swaps the segment
+// list under the table lock, and retired segments stay mapped until a
+// writer-context safe point, so live cursors never lose their backing
+// bytes.
+type Table struct {
+	store  *Store
+	name   string
+	dir    string
+	keyLen int
+
+	mu   sync.RWMutex
+	mem  map[string]byte // key → op (opSet/opDel)
+	srt  []memEnt        // sorted snapshot of mem; nil when stale
+	segs []*segment      // oldest first
+	live int             // exact number of live keys
+	seq  uint64          // next segment file number
+	gen  uint64          // bumped by Clear; stale compactions discard
+	// compacting marks an in-flight background merge; retired segments are
+	// only unmapped when it is false (the compactor may still read them).
+	compacting bool
+	retired    []*segment
+}
+
+type memEnt struct {
+	key string
+	op  byte
+}
+
+func newTable(s *Store, name, dir string, keyLen int) *Table {
+	return &Table{store: s, name: name, dir: dir, keyLen: keyLen, mem: map[string]byte{}}
+}
+
+// Name returns the table's registered name.
+func (t *Table) Name() string { return t.name }
+
+// KeyLen returns the fixed encoded key width.
+func (t *Table) KeyLen() int { return t.keyLen }
+
+// Len returns the number of live keys.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Segments reports the current number of on-disk runs.
+func (t *Table) Segments() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.segs)
+}
+
+// Insert adds a key, reporting whether it was not live before. The writer
+// contract applies.
+func (t *Table) Insert(key []byte) bool {
+	t.mu.Lock()
+	if t.containsLocked(key) {
+		t.mu.Unlock()
+		return false
+	}
+	t.mem[string(key)] = opSet
+	t.srt = nil
+	t.live++
+	full := len(t.mem) >= t.store.opts.FlushKeys
+	t.mu.Unlock()
+	if full {
+		t.Flush()
+	}
+	return true
+}
+
+// Delete removes a key, reporting whether it was live.
+func (t *Table) Delete(key []byte) bool {
+	t.mu.Lock()
+	if !t.containsLocked(key) {
+		t.mu.Unlock()
+		return false
+	}
+	t.mem[string(key)] = opDel
+	t.srt = nil
+	t.live--
+	full := len(t.mem) >= t.store.opts.FlushKeys
+	t.mu.Unlock()
+	if full {
+		t.Flush()
+	}
+	return true
+}
+
+// Contains reports whether key is live.
+func (t *Table) Contains(key []byte) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.containsLocked(key)
+}
+
+func (t *Table) containsLocked(key []byte) bool {
+	if op, ok := t.mem[string(key)]; ok {
+		return op == opSet
+	}
+	for i := len(t.segs) - 1; i >= 0; i-- {
+		if op, ok := t.segs[i].find(key); ok {
+			return op == opSet
+		}
+	}
+	return false
+}
+
+// Clear drops every key. Runs in writer context: live reader cursors are
+// excluded by the caller, so current segments can retire; an in-flight
+// compaction is invalidated by the generation bump and its retired inputs
+// are swept at the next writer-context safe point.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	t.mem = map[string]byte{}
+	t.srt = nil
+	t.retired = append(t.retired, t.segs...)
+	t.segs = nil
+	t.live = 0
+	t.gen++
+	t.sweepLocked()
+	t.mu.Unlock()
+}
+
+// sweepLocked unmaps and unlinks retired segments. Only valid in writer
+// context (no reader cursors) and only when no compaction is in flight.
+func (t *Table) sweepLocked() {
+	if t.compacting || len(t.retired) == 0 {
+		return
+	}
+	for _, g := range t.retired {
+		g.close()
+		os.Remove(g.path)
+	}
+	t.retired = nil
+}
+
+// sortedLocked returns the ascending snapshot of the memtable, rebuilding
+// the cache if a write invalidated it. Cursors hold the returned slice; it
+// is never mutated in place.
+func (t *Table) sortedLocked() []memEnt {
+	if t.srt == nil {
+		ents := make([]memEnt, 0, len(t.mem))
+		for k, op := range t.mem {
+			ents = append(ents, memEnt{k, op})
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].key < ents[j].key })
+		t.srt = ents
+	}
+	return t.srt
+}
+
+// Flush writes the memtable to a new segment and clears it. A flush of an
+// empty memtable is a no-op. Tombstones are dropped when no older run could
+// resurrect the key. Writer context only.
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sweepLocked()
+	if len(t.mem) == 0 {
+		return nil
+	}
+	ents := t.sortedLocked()
+	src := &memSource{ents: ents, dropDels: len(t.segs) == 0}
+	path := filepath.Join(t.dir, fmt.Sprintf("seg-%08d.seg", t.seq))
+	n, err := writeSegment(path, t.keyLen, src)
+	if err != nil {
+		return fmt.Errorf("store: flush %s: %w", t.name, err)
+	}
+	t.seq++
+	t.store.flushes.Add(1)
+	t.store.fsyncs.Add(1)
+	if n == 0 {
+		os.Remove(path)
+		t.mem = map[string]byte{}
+		t.srt = nil
+		return nil
+	}
+	g, err := openSegment(path)
+	if err != nil {
+		return fmt.Errorf("store: reopen flushed %s: %w", t.name, err)
+	}
+	t.segs = append(t.segs, g)
+	t.mem = map[string]byte{}
+	t.srt = nil
+	if len(t.segs) > t.store.opts.MaxSegments && !t.compacting {
+		t.compacting = true
+		t.store.scheduleCompact(t)
+	}
+	return nil
+}
+
+// memSource streams a sorted memtable snapshot to the segment writer.
+type memSource struct {
+	ents     []memEnt
+	dropDels bool
+	i        int
+}
+
+func (m *memSource) next() ([]byte, byte, bool) {
+	for m.i < len(m.ents) {
+		e := m.ents[m.i]
+		m.i++
+		if m.dropDels && e.op == opDel {
+			continue
+		}
+		return []byte(e.key), e.op, true
+	}
+	return nil, 0, false
+}
+
+// SampleKeys returns up to n-1 ascending separator keys that split the
+// table into roughly equal ranges, for parallel partitioned scans. It may
+// return fewer (or none) when the table is small.
+func (t *Table) SampleKeys(n int) [][]byte {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// Sample the largest run: it dominates the key distribution.
+	var src interface {
+		at(i int) []byte
+		len() int
+	}
+	var best *segment
+	for _, g := range t.segs {
+		if best == nil || g.count > best.count {
+			best = g
+		}
+	}
+	if best != nil && best.count >= len(t.mem) {
+		src = segKeys{best}
+	} else {
+		src = memKeys(t.sortedLockedRO())
+	}
+	if n <= 1 || src.len() < 2*n {
+		return nil
+	}
+	var out [][]byte
+	for i := 1; i < n; i++ {
+		k := src.at(i * src.len() / n)
+		if len(out) > 0 && bytes.Equal(out[len(out)-1], k) {
+			continue
+		}
+		out = append(out, append([]byte(nil), k...))
+	}
+	return out
+}
+
+// sortedLockedRO is the read-lock variant of sortedLocked: it cannot
+// install the cache, so it sorts a fresh snapshot when the cache is stale.
+func (t *Table) sortedLockedRO() []memEnt {
+	if t.srt != nil {
+		return t.srt
+	}
+	ents := make([]memEnt, 0, len(t.mem))
+	for k, op := range t.mem {
+		ents = append(ents, memEnt{k, op})
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].key < ents[j].key })
+	return ents
+}
+
+type segKeys struct{ g *segment }
+
+func (s segKeys) at(i int) []byte { return s.g.key(i) }
+func (s segKeys) len() int        { return s.g.count }
+
+type memKeys []memEnt
+
+func (m memKeys) at(i int) []byte { return []byte(m[i].key) }
+func (m memKeys) len() int        { return len(m) }
+
+func (t *Table) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, g := range t.retired {
+		g.close()
+	}
+	t.retired = nil
+	for _, g := range t.segs {
+		g.close()
+	}
+	t.segs = nil
+}

@@ -1,0 +1,59 @@
+package tuple
+
+// Order-preserving byte encoding of tuples, the key codec of the persistent
+// storage tier (internal/store). Every element is a 32-bit word already
+// compared by unsigned bit pattern (Compare), so a fixed-width big-endian
+// layout carries the order agreement property the durable tier needs:
+//
+//	bytes.Compare(EncodedKey(a), EncodedKey(b)) == Compare(a, b)
+//
+// for equal-arity tuples, and — because the encoding is fixed-width — the
+// first k elements of a tuple occupy exactly the first k*KeyWidth bytes of
+// its key. Prefix searches (PrefixScan, AnyMatch) and range partitioning
+// (PartitionScan) therefore work directly on encoded keys, with no decoding
+// on the comparison path.
+
+// KeyWidth is the encoded size of one tuple element.
+const KeyWidth = 4
+
+// KeySize is the encoded size of a tuple of the given arity.
+func KeySize(arity int) int { return arity * KeyWidth }
+
+// AppendKey appends the order-preserving encoding of t to dst and returns
+// the extended slice.
+func AppendKey(dst []byte, t Tuple) []byte {
+	for _, v := range t {
+		dst = append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return dst
+}
+
+// EncodedKey returns a freshly allocated order-preserving key for t.
+func EncodedKey(t Tuple) []byte {
+	return AppendKey(make([]byte, 0, KeySize(len(t))), t)
+}
+
+// DecodeKey decodes an encoded key into dst. The key must hold exactly
+// KeySize(len(dst)) bytes.
+func DecodeKey(dst Tuple, key []byte) {
+	for i := range dst {
+		b := key[i*KeyWidth:]
+		dst[i] = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	}
+}
+
+// PrefixSuccessor returns the smallest key strictly greater than every key
+// beginning with p, i.e. p with its last byte incremented (with carry). It
+// returns nil when p is all 0xFF (or empty): no finite upper bound exists,
+// and callers treat nil as +infinity.
+func PrefixSuccessor(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}

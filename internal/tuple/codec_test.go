@@ -1,0 +1,178 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sti/internal/value"
+)
+
+// edgeWords covers every value kind crossing the codec: unsigned ordinals
+// (symbols), two's-complement numbers, and float bit patterns, at their
+// boundary encodings.
+var edgeWords = []value.Value{
+	0, 1, 0x7F, 0x80, 0xFF, 0x100, 0xFFFF, 0x10000,
+	0x7FFFFFFF,             // max int32
+	0x80000000,             // min int32 two's complement
+	0xFFFFFFFF,             // -1 two's complement
+	math.Float32bits(0),    // +0.0
+	math.Float32bits(1.5),  // positive float
+	math.Float32bits(-1.5), // negative float
+	math.Float32bits(float32(math.Inf(1))),
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for arity := 0; arity <= testArities; arity++ {
+		for trial := 0; trial < 200; trial++ {
+			in := randTuple(rng, arity)
+			key := EncodedKey(in)
+			if len(key) != KeySize(arity) {
+				t.Fatalf("arity %d: key size %d, want %d", arity, len(key), KeySize(arity))
+			}
+			out := make(Tuple, arity)
+			DecodeKey(out, key)
+			if !Equal(in, out) {
+				t.Fatalf("arity %d: round trip %v -> %v", arity, in, out)
+			}
+		}
+	}
+}
+
+func TestKeyOrderAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for arity := 1; arity <= testArities; arity++ {
+		for trial := 0; trial < 500; trial++ {
+			a, b := randTuple(rng, arity), randTuple(rng, arity)
+			if trial%3 == 0 {
+				// Force shared prefixes so ties and near-ties are covered.
+				k := rng.Intn(arity)
+				copy(b[:k], a[:k])
+			}
+			want := Compare(a, b)
+			got := bytes.Compare(EncodedKey(a), EncodedKey(b))
+			if got != want {
+				t.Fatalf("arity %d: bytes.Compare(enc(%v), enc(%v)) = %d, tuple order %d",
+					arity, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestKeyPrefixAgreement pins the property PrefixScan relies on: the first
+// k elements of a tuple occupy exactly the first KeySize(k) bytes.
+func TestKeyPrefixAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 500; trial++ {
+		arity := 1 + rng.Intn(testArities)
+		tup := randTuple(rng, arity)
+		key := EncodedKey(tup)
+		for k := 0; k <= arity; k++ {
+			if !bytes.Equal(key[:KeySize(k)], EncodedKey(tup[:k])) {
+				t.Fatalf("prefix %d of %v does not agree with its key prefix", k, tup)
+			}
+		}
+	}
+}
+
+func TestPrefixSuccessor(t *testing.T) {
+	cases := []struct{ in, want []byte }{
+		{[]byte{0x00}, []byte{0x01}},
+		{[]byte{0x01, 0xFF}, []byte{0x02}},
+		{[]byte{0xFF, 0xFF}, nil},
+		{[]byte{}, nil},
+		{[]byte{0x12, 0x34}, []byte{0x12, 0x35}},
+	}
+	for _, c := range cases {
+		if got := PrefixSuccessor(c.in); !bytes.Equal(got, c.want) {
+			t.Errorf("PrefixSuccessor(%x) = %x, want %x", c.in, got, c.want)
+		}
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 500; trial++ {
+		p := EncodedKey(randTuple(rng, 1+rng.Intn(4)))
+		succ := PrefixSuccessor(p)
+		if succ == nil {
+			continue
+		}
+		if bytes.Compare(succ, p) <= 0 {
+			t.Fatalf("successor %x not greater than %x", succ, p)
+		}
+		// Every key starting with p sorts strictly below the successor.
+		ext := append(append([]byte{}, p...), 0xFF, 0xFF, 0xFF, 0xFF)
+		if bytes.Compare(ext, succ) >= 0 {
+			t.Fatalf("extension %x of %x not below successor %x", ext, p, succ)
+		}
+	}
+}
+
+// FuzzKeyOrder fuzzes the order agreement property over arbitrary byte
+// inputs carved into two equal-arity tuples.
+func FuzzKeyOrder(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 255, 255, 255, 255})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{0x80, 0, 0, 0, 0x7F, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		arity := len(data) / (2 * KeyWidth)
+		if arity == 0 {
+			return
+		}
+		if arity > maxFuzzArity {
+			arity = maxFuzzArity
+		}
+		a, b := make(Tuple, arity), make(Tuple, arity)
+		DecodeKey(a, data[:KeySize(arity)])
+		DecodeKey(b, data[KeySize(arity):2*KeySize(arity)])
+		if got, want := bytes.Compare(EncodedKey(a), EncodedKey(b)), Compare(a, b); got != want {
+			t.Fatalf("bytes.Compare = %d, tuple order %d (a=%v b=%v)", got, want, a, b)
+		}
+	})
+}
+
+// FuzzKeyRoundTrip fuzzes encode/decode inverses.
+func FuzzKeyRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x02, 0x03, 0x04})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		arity := len(data) / KeyWidth
+		if arity == 0 {
+			return
+		}
+		if arity > maxFuzzArity {
+			arity = maxFuzzArity
+		}
+		in := make(Tuple, arity)
+		DecodeKey(in, data[:KeySize(arity)])
+		key := EncodedKey(in)
+		if !bytes.Equal(key, data[:KeySize(arity)]) {
+			t.Fatalf("decode/encode of %x produced %x", data[:KeySize(arity)], key)
+		}
+		out := make(Tuple, arity)
+		DecodeKey(out, key)
+		if !Equal(in, out) {
+			t.Fatalf("round trip %v -> %v", in, out)
+		}
+	})
+}
+
+// maxFuzzArity mirrors relation.MaxArity without the import (tuple sits
+// below relation in the dependency order); testArities bounds the
+// exhaustive property sweeps.
+const (
+	maxFuzzArity = 16
+	testArities  = 6
+)
+
+func randTuple(rng *rand.Rand, arity int) Tuple {
+	t := make(Tuple, arity)
+	for i := range t {
+		if rng.Intn(4) == 0 {
+			t[i] = edgeWords[rng.Intn(len(edgeWords))]
+		} else {
+			t[i] = value.Value(rng.Uint32())
+		}
+	}
+	return t
+}

@@ -138,6 +138,9 @@ func (db *Database) registerObsvMetrics() {
 			}
 			return out
 		})
+	if db.pst != nil {
+		db.registerPersistMetrics()
+	}
 	obs.RegisterVec(obsv.KindGauge, "sti_relation_tuples",
 		"Tuples per relation (aux relations excluded).", "rel",
 		func() map[string]float64 {
@@ -148,6 +151,57 @@ func (db *Database) registerObsvMetrics() {
 				if !rd.Aux {
 					out[rd.Name] = float64(db.eng.Relation(rd.Name).Size())
 				}
+			}
+			return out
+		})
+}
+
+// registerPersistMetrics wires the durable tier's counters into the scrape
+// path: WAL traffic, checkpoint cadence, and segment-store shape.
+func (db *Database) registerPersistMetrics() {
+	obs := db.obs
+	persist := func(read func(*PersistStats) float64) func() float64 {
+		return func() float64 {
+			s := db.Snapshot()
+			defer s.Release()
+			return read(db.pst.stats())
+		}
+	}
+	obs.Register(obsv.KindGauge, "sti_persist_generation",
+		"Current snapshot/WAL generation of the data directory.",
+		persist(func(p *PersistStats) float64 { return float64(p.Generation) }))
+	obs.Register(obsv.KindCounter, "sti_persist_wal_records_total",
+		"Batches appended to the current WAL generation.",
+		persist(func(p *PersistStats) float64 { return float64(p.WALRecords) }))
+	obs.Register(obsv.KindCounter, "sti_persist_wal_bytes_total",
+		"Payload bytes appended to the current WAL generation.",
+		persist(func(p *PersistStats) float64 { return float64(p.WALBytes) }))
+	obs.Register(obsv.KindCounter, "sti_persist_snapshots_total",
+		"Checkpoints taken this session (open, periodic, and close).",
+		persist(func(p *PersistStats) float64 { return float64(p.Snapshots) }))
+	obs.Register(obsv.KindGauge, "sti_persist_applies_since_snapshot",
+		"Applies since the last checkpoint (the WAL replay a crash would pay).",
+		persist(func(p *PersistStats) float64 { return float64(p.SinceSnapshot) }))
+	obs.Register(obsv.KindGauge, "sti_persist_segments",
+		"On-disk segment runs across all durable tables.",
+		persist(func(p *PersistStats) float64 { return float64(p.Segments) }))
+	obs.Register(obsv.KindGauge, "sti_persist_live_keys",
+		"Live keys across all durable tables.",
+		persist(func(p *PersistStats) float64 { return float64(p.LiveKeys) }))
+	obs.Register(obsv.KindCounter, "sti_persist_flushes_total",
+		"Memtable flushes to segment files.",
+		persist(func(p *PersistStats) float64 { return float64(p.Flushes) }))
+	obs.Register(obsv.KindCounter, "sti_persist_compactions_total",
+		"Background segment compactions completed.",
+		persist(func(p *PersistStats) float64 { return float64(p.Compactions) }))
+	obs.RegisterVec(obsv.KindGauge, "sti_persist_gated",
+		"Input relations kept on the in-memory tier, by relation (value is 1; the reason is in Stats).", "rel",
+		func() map[string]float64 {
+			s := db.Snapshot()
+			defer s.Release()
+			out := make(map[string]float64, len(db.pst.gates))
+			for rel := range db.pst.gates {
+				out[rel] = 1
 			}
 			return out
 		})

@@ -45,6 +45,9 @@ type runOptions struct {
 	// obs is the request-scoped observability hub, built by
 	// WithObservability (observe.go). Open-only; one-shot runs ignore it.
 	obs *obsv.Observer
+	// persist selects the durable tier and data directory, built by
+	// WithPersistence (persist.go). Open-only; one-shot runs ignore it.
+	persist *PersistenceConfig
 }
 
 // WithBackend selects the execution engine (default Interpreter).

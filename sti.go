@@ -56,6 +56,10 @@ type Program struct {
 	sem *sema.Program
 	ram *ram.Program
 	st  *symtab.Table
+	// hash identifies the source text (SHA-256, hex). The durability layer
+	// stamps it into a data directory's MANIFEST so a directory written by
+	// one program is never replayed under another.
+	hash string
 }
 
 // Parse parses, semantically checks, and translates a Datalog program.
@@ -77,7 +81,7 @@ func Parse(source string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{sem: semProg, ram: ramProg, st: st}, nil
+	return &Program{sem: semProg, ram: ramProg, st: st, hash: programHash(source)}, nil
 }
 
 // Optimize runs the RAM optimization passes (constant folding, filter
